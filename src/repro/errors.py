@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised errors derive from :class:`CheddarError` so callers can
+catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class CheddarError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ParameterError(CheddarError):
+    """A parameter set is inconsistent or unsupported.
+
+    Examples: a ring degree that is not a power of two, a scale for which no
+    rescaling cycle exists, or a modulus chain that exceeds the security
+    budget recorded in the parameter set.
+    """
+
+
+class PrimeSearchError(CheddarError):
+    """Prime generation could not find enough NTT-friendly primes."""
+
+
+class LevelError(CheddarError):
+    """An operation was requested at an invalid or exhausted level."""
+
+
+class ScaleMismatchError(CheddarError):
+    """Two operands carry scales too far apart to combine soundly."""
+
+
+class KeyError_(CheddarError):
+    """A required evaluation key is missing or incompatible."""
+
+
+class LayoutError(CheddarError):
+    """A polynomial's limb layout does not match the requested basis."""
+
+
+class TraceError(CheddarError):
+    """A trace-mode operation was asked to produce real numeric data."""

@@ -1,0 +1,198 @@
+"""Rescaling-cycle search for the 25-30 prime system (§3.2).
+
+A *rescaling cycle* is a short periodic pattern of per-level prime swaps —
+"discard a main primes, add b terminal primes" style moves — such that every
+rescaling divides the scale by almost exactly ``2**log_delta`` while the
+number of live terminal primes returns to its starting value after one
+period.  The paper's Δ = 2^40 example is the period-3 orbit of terminal
+counts (2, 0, 4) — level 0 holds two terminal primes, level 1 none, level 2
+four, level 3 two again — using at most four terminal primes.
+
+This module finds such cycles for arbitrary (log_delta, main_bits,
+terminal_bits) by breadth-first search over the live-terminal-count state
+space, minimizing first the peak number of terminal primes, then the period,
+and finally rotating the cycle so the level-0 modulus is as small as
+possible while still exceeding the scale (the paper's 50-bit base for
+Δ = 2^40).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class CycleMove:
+    """One up-level move: entering level l+1 from level l.
+
+    ``main_delta`` main primes and ``terminal_delta`` terminal primes are
+    added going up (negative = removed going up, i.e. added back when
+    rescaling down).  Exact log identity:
+    ``main_bits*main_delta + terminal_bits*terminal_delta == log_delta``.
+    """
+
+    main_delta: int
+    terminal_delta: int
+
+
+def enumerate_moves(
+    log_delta: int, main_bits: int, terminal_bits: int, max_terminal: int
+) -> list[CycleMove]:
+    """All single-step moves whose nominal log-scale change is log_delta."""
+    moves = []
+    for main_delta in range(-max_terminal, max_terminal + 3):
+        rem = log_delta - main_bits * main_delta
+        if rem % terminal_bits:
+            continue
+        terminal_delta = rem // terminal_bits
+        if abs(terminal_delta) > max_terminal:
+            continue
+        if main_delta == 0 and terminal_delta == 0:
+            continue
+        moves.append(CycleMove(main_delta, terminal_delta))
+    return moves
+
+
+@dataclass(frozen=True)
+class RescalingCycle:
+    """A periodic schedule of moves plus the terminal-count orbit.
+
+    ``terminal_counts[i]`` is the live terminal-prime count at level
+    ``i mod period``; ``moves[i]`` is applied when ascending from level
+    ``i mod period`` to the next level.
+    """
+
+    moves: tuple[CycleMove, ...]
+    terminal_counts: tuple[int, ...]
+
+    @property
+    def period(self) -> int:
+        return len(self.moves)
+
+    @property
+    def peak_terminals(self) -> int:
+        return max(
+            max(self.terminal_counts),
+            max(c + m.terminal_delta
+                for c, m in zip(self.terminal_counts, self.moves)),
+        )
+
+    @property
+    def mains_consumed_per_period(self) -> int:
+        return sum(m.main_delta for m in self.moves)
+
+    def terminal_count_at(self, level: int) -> int:
+        return self.terminal_counts[level % self.period]
+
+    def main_count_at(self, level: int, base_main: int) -> int:
+        """Live main primes at ``level`` given ``base_main`` at level 0."""
+        full, part = divmod(level, self.period)
+        count = base_main + full * self.mains_consumed_per_period
+        for move in self.moves[:part]:
+            count += move.main_delta
+        return count
+
+
+def find_rescaling_cycle(
+    log_delta: int,
+    *,
+    main_bits: int = 30,
+    terminal_bits: int = 25,
+    max_terminal: int = 6,
+    max_period: int = 8,
+    base_margin_bits: int = 5,
+) -> RescalingCycle:
+    """Find a rescaling cycle minimizing (peak terminals, period).
+
+    Raises:
+        ParameterError: if no cycle exists within the bounds — e.g.
+            Δ = 2^41 with 25/30-bit primes needs a different prime system
+            (§3.2's "otherwise we can construct similar prime systems,
+            e.g. 24-30").
+    """
+    moves = enumerate_moves(log_delta, main_bits, terminal_bits, max_terminal)
+    if not moves:
+        raise ParameterError(
+            f"no moves for log_delta={log_delta} with "
+            f"{main_bits}/{terminal_bits}-bit primes"
+        )
+    best: RescalingCycle | None = None
+    for cap in range(0, max_terminal + 1):
+        for start in range(cap + 1):
+            cand = _shortest_cycle_from(start, moves, cap, max_period)
+            if cand is None:
+                continue
+            if best is None or (cand.peak_terminals, cand.period) < (
+                best.peak_terminals,
+                best.period,
+            ):
+                best = cand
+        if best is not None:
+            break
+    if best is None:
+        raise ParameterError(
+            f"no rescaling cycle for log_delta={log_delta} with "
+            f"{main_bits}/{terminal_bits}-bit primes "
+            f"(max_terminal={max_terminal}, max_period={max_period})"
+        )
+    return _rotate_for_base(best, log_delta, main_bits, terminal_bits,
+                            base_margin_bits)
+
+
+def _shortest_cycle_from(
+    start: int, moves: list[CycleMove], cap: int, max_period: int
+) -> RescalingCycle | None:
+    """BFS upward through levels for the shortest cycle returning to start.
+
+    A valid cycle must consume main primes on net (``sum main_delta > 0``):
+    the total modulus grows with the level, and terminal counts are
+    periodic, so all net growth comes from main primes.
+    """
+    frontier: list[tuple[int, tuple[CycleMove, ...], tuple[int, ...]]]
+    frontier = [(start, (), ())]
+    for _ in range(max_period):
+        next_frontier = []
+        for state, path, orbit in frontier:
+            for move in moves:
+                nxt = state + move.terminal_delta
+                if not 0 <= nxt <= cap:
+                    continue
+                new_path = path + (move,)
+                new_orbit = orbit + (state,)
+                if nxt == start:
+                    if sum(m.main_delta for m in new_path) > 0:
+                        return RescalingCycle(new_path, new_orbit)
+                else:
+                    next_frontier.append((nxt, new_path, new_orbit))
+        frontier = next_frontier
+    return None
+
+
+def _rotate_for_base(
+    cycle: RescalingCycle,
+    log_delta: int,
+    main_bits: int,
+    terminal_bits: int,
+    margin_bits: int,
+) -> RescalingCycle:
+    """Pick the rotation whose level-0 modulus is smallest but > Δ.
+
+    The level-0 modulus must comfortably exceed the scale so decryption at
+    level 0 retains the message; the paper's Δ = 2^40 system starts from a
+    50-bit two-terminal base (Table 2).
+    """
+    best_rot = 0
+    best_bits = None
+    for rot in range(cycle.period):
+        n_tau = cycle.terminal_counts[rot]
+        need = log_delta + margin_bits - terminal_bits * n_tau
+        n_main = max(0, -(-need // main_bits))  # ceil for positive need
+        base_bits = terminal_bits * n_tau + main_bits * n_main
+        if best_bits is None or base_bits < best_bits:
+            best_bits = base_bits
+            best_rot = rot
+    moves = cycle.moves[best_rot:] + cycle.moves[:best_rot]
+    orbit = cycle.terminal_counts[best_rot:] + cycle.terminal_counts[:best_rot]
+    return RescalingCycle(moves, orbit)

@@ -1,0 +1,226 @@
+"""NTT-friendly prime generation (the ``primegen.py`` utility of the paper).
+
+CKKS with RNS needs primes ``q`` with ``q = 1 (mod 2N)`` (Eq. 3 of the paper)
+so that a primitive ``2N``-th root of unity exists mod ``q`` and the negacyclic
+NTT can run limb-wise.  Cheddar's 25-30 prime system draws from two fixed
+lists: main primes "sufficiently close" to ``2^30`` (``Pr~30``) and terminal
+primes close to ``2^25`` (``Pr~25``); §3.2.  This module generates such lists
+for arbitrary target bit-sizes and ring degrees.
+
+Primes are returned ordered by closeness to the target ``2^k``, alternating
+above/below the target, which keeps products of consecutive primes within a
+fraction of a bit of ``2^(n*k)`` — this is what bounds the scale divergence of
+the prime system to < 0.1 bits (§3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PrimeSearchError
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+)
+
+# Deterministic Miller-Rabin witness sets (Sinclair / Feitsma bounds).
+_MR_WITNESSES_64 = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin primality test, exact for n < 3.3e24."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_WITNESSES_64:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class Prime:
+    """A single NTT-friendly RNS prime.
+
+    Attributes:
+        value: the prime q itself (q < 2^31 for the 32-bit datapath).
+        bits: nominal size class k for a Pr~k prime (e.g. 30 or 25).
+        kind: "main" (Pr~30 q_i), "terminal" (Pr~25 tau_i) or
+            "aux" (P-part p_i used only inside key switching).
+        index: position within its kind's fixed selection list.
+    """
+
+    value: int
+    bits: int
+    kind: str
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("main", "terminal", "aux"):
+            raise PrimeSearchError(f"unknown prime kind {self.kind!r}")
+
+    @property
+    def log2(self) -> float:
+        import math
+
+        return math.log2(self.value)
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:  # compact, used heavily in test output
+        return f"{self.kind[0]}{self.index}:{self.value}"
+
+
+def ntt_friendly_primes(
+    target_bits: int,
+    count: int,
+    ring_degree: int,
+    *,
+    kind: str = "main",
+    exclude: set[int] | None = None,
+    max_distance: float = 0.5,
+) -> list[Prime]:
+    """Find ``count`` primes q = 1 (mod 2N) closest to ``2**target_bits``.
+
+    The search walks outward from ``2**target_bits`` in steps of ``2N``
+    (the only residues that can satisfy Eq. 3), alternating above and below
+    the target so that consecutive picks balance each other's deviation.
+
+    Args:
+        target_bits: k for a Pr~k list.
+        count: how many primes to return.
+        ring_degree: N; candidates satisfy q = 1 (mod 2N).
+        kind: recorded on each returned :class:`Prime`.
+        exclude: prime values that must not be reused (e.g. already taken
+            by another list of the same construction).
+        max_distance: maximum allowed |log2(q) - target_bits|.
+
+    Raises:
+        PrimeSearchError: when the window around 2^k is exhausted.
+    """
+    if ring_degree & (ring_degree - 1):
+        raise PrimeSearchError(f"ring degree {ring_degree} is not a power of two")
+    step = 2 * ring_degree
+    center = 1 << target_bits
+    # Candidates must be = 1 (mod 2N); walk outward from the center.
+    base_up = step * (center // step) + 1
+    if base_up <= center:
+        base_up += step
+    base_down = base_up - step
+    exclude = exclude or set()
+    found: list[Prime] = []
+    up, down = base_up, base_down
+    lo_bound = center / (2**max_distance)
+    hi_bound = center * (2**max_distance)
+    prefer_up = True
+    while len(found) < count:
+        if up > hi_bound and down < lo_bound:
+            raise PrimeSearchError(
+                f"exhausted Pr~{target_bits} window for N={ring_degree}: "
+                f"found {len(found)}/{count}"
+            )
+        # Alternate sides to keep the running product balanced around 2^k.
+        took = False
+        if prefer_up:
+            while up <= hi_bound:
+                cand, up = up, up + step
+                if cand not in exclude and cand < 2**31 and is_prime(cand):
+                    found.append(Prime(cand, target_bits, kind, len(found)))
+                    took = True
+                    break
+        else:
+            while down >= lo_bound:
+                cand, down = down, down - step
+                if cand not in exclude and cand < 2**31 and is_prime(cand):
+                    found.append(Prime(cand, target_bits, kind, len(found)))
+                    took = True
+                    break
+        prefer_up = not prefer_up
+        if not took and up > hi_bound and down < lo_bound:
+            raise PrimeSearchError(
+                f"exhausted Pr~{target_bits} window for N={ring_degree}: "
+                f"found {len(found)}/{count}"
+            )
+    return found
+
+
+def primitive_root_of_unity(order: int, modulus: int) -> int:
+    """Return a primitive ``order``-th root of unity modulo a prime.
+
+    Used to build NTT twiddle tables: for negacyclic NTT we need a primitive
+    2N-th root psi with psi^N = -1 (mod q).
+    """
+    if (modulus - 1) % order:
+        raise PrimeSearchError(f"{order} does not divide {modulus}-1")
+    cofactor = (modulus - 1) // order
+    # Factor `order` (a power of two in our use) for primitivity checks.
+    for g in range(2, modulus):
+        root = pow(g, cofactor, modulus)
+        if pow(root, order // 2, modulus) == modulus - 1:
+            return root
+    raise PrimeSearchError(f"no primitive root of order {order} mod {modulus}")
+
+
+@dataclass
+class PrimePool:
+    """Fixed, ordered prime lists backing one RNS construction.
+
+    The 25-30 prime system draws terminal and main primes *in a fixed order*
+    from carefully chosen lists (§3.2); the pool is that pair of lists plus
+    the auxiliary (P-part) primes for key switching.
+    """
+
+    ring_degree: int
+    main: list[Prime] = field(default_factory=list)
+    terminal: list[Prime] = field(default_factory=list)
+    aux: list[Prime] = field(default_factory=list)
+
+    @classmethod
+    def generate(
+        cls,
+        ring_degree: int,
+        *,
+        main_bits: int = 30,
+        terminal_bits: int = 25,
+        num_main: int,
+        num_terminal: int,
+        num_aux: int,
+        aux_bits: int | None = None,
+    ) -> "PrimePool":
+        """Generate disjoint main/terminal/aux lists for one construction."""
+        aux_bits = aux_bits if aux_bits is not None else main_bits
+        main = ntt_friendly_primes(main_bits, num_main, ring_degree, kind="main")
+        taken = {p.value for p in main}
+        terminal = ntt_friendly_primes(
+            terminal_bits, num_terminal, ring_degree, kind="terminal", exclude=taken
+        )
+        taken |= {p.value for p in terminal}
+        aux = ntt_friendly_primes(
+            aux_bits, num_aux, ring_degree, kind="aux", exclude=taken
+        )
+        return cls(ring_degree, main, terminal, aux)
+
+    @property
+    def all_primes(self) -> list[Prime]:
+        return self.terminal + self.main + self.aux
+
+    def assert_disjoint(self) -> None:
+        values = [p.value for p in self.all_primes]
+        if len(values) != len(set(values)):
+            raise PrimeSearchError("prime pool contains duplicates")

@@ -1,0 +1,243 @@
+"""Modular reduction methods (§4.1, Table 3 of the paper).
+
+Implements the four reduction methods the paper compares — Barrett,
+(unsigned) Montgomery, Shoup, and the signed Montgomery reduction (SMR,
+Alg. 2) Cheddar adopts — in bit-faithful vectorized NumPy.  "Bit-faithful"
+means each method is written in terms of the 32-bit primitive operations a
+GPU int32 core provides (``mullo32``, ``mulhi32``, 32/64-bit adds), with the
+same intermediate ranges, so unit tests can check the exact output-range
+claims of Table 3 and the lazy-reduction accumulation bounds of §4.2.
+
+Every method also carries its instruction cost so the GPU model can price
+kernels (Table 3's "computation requirements" column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+_U32 = np.uint64(0xFFFFFFFF)
+_SHIFT32 = np.uint64(32)
+
+
+def mullo32(a: np.ndarray, b: np.ndarray | int) -> np.ndarray:
+    """Lower 32 bits of a 32x32-bit product (uint64 carrier)."""
+    return (a * np.uint64(b)) & _U32
+
+
+def mulhi32(a: np.ndarray, b: np.ndarray | int) -> np.ndarray:
+    """Upper 32 bits of a 32x32-bit unsigned product."""
+    return ((a & _U32) * (np.uint64(b) & _U32)) >> _SHIFT32
+
+
+def _signed_mulhi32(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Upper 32 bits of a signed 32x32-bit product (int64 carrier)."""
+    return (a.astype(np.int64) * b.astype(np.int64)) >> np.int64(32)
+
+
+def _signed_mullo32(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Lower 32 bits of a product, reinterpreted as signed int32."""
+    lo = (a.astype(np.int64) * b.astype(np.int64)) & np.int64(0xFFFFFFFF)
+    return (lo ^ np.int64(1 << 31)) - np.int64(1 << 31)  # sign-extend bit 31
+
+
+@dataclass(frozen=True)
+class ReductionCost:
+    """Instruction cost of one modular multiplication (Table 3).
+
+    Costs are expressed in equivalent int32 instructions.  ``mulwide32``
+    counts as two (it writes a 64-bit result through the 32-bit datapath);
+    ``mulhi`` and ``mullo`` count as one each; 64-bit adds count as two.
+    """
+
+    name: str
+    mul_instrs: int
+    add_instrs: int
+    extra_consts: int  # precomputed constants per prime (per unique constant
+    # for Shoup)
+    output_range: str
+
+    @property
+    def total_instrs(self) -> int:
+        return self.mul_instrs + self.add_instrs
+
+
+#: Table 3 of the paper, as data the GPU model consumes.
+REDUCTION_COSTS = {
+    "barrett": ReductionCost("barrett", mul_instrs=2 + 2, add_instrs=2,
+                             extra_consts=1, output_range="[0, 2q)"),
+    "montgomery": ReductionCost("montgomery", mul_instrs=2 + 1, add_instrs=2,
+                                extra_consts=1, output_range="[0, 2q)"),
+    "shoup": ReductionCost("shoup", mul_instrs=2, add_instrs=1,
+                           extra_consts=-1, output_range="[0, 2q)"),
+    "smr": ReductionCost("smr", mul_instrs=2, add_instrs=1,
+                         extra_consts=1, output_range="(-q, q)"),
+}
+
+
+class BarrettReducer:
+    """Classical Barrett reduction for a 64-bit product of 31-bit operands.
+
+    Precomputes mu = floor(2^64 / q).  reduce(x) returns x mod q in [0, 2q)
+    (Table 3); ``reduce_strict`` folds into [0, q).
+    """
+
+    def __init__(self, q: int) -> None:
+        if not (2 < q < 2**31):
+            raise ParameterError(f"Barrett modulus {q} out of 32-bit range")
+        self.q = np.uint64(q)
+        self.mu = (1 << 64) // q  # fits in 33 bits for q near 2^31
+
+    def mulmod(self, a: np.ndarray, b: np.ndarray | int) -> np.ndarray:
+        x = a.astype(np.uint64) * np.uint64(b)
+        # q_hat = floor(x * mu / 2^64), computed via the high product.
+        # NumPy lacks 128-bit ints; emulate with 32-bit halves as a GPU would.
+        x_hi = x >> _SHIFT32
+        x_lo = x & _U32
+        mu = np.uint64(self.mu)
+        mu_hi = mu >> _SHIFT32
+        mu_lo = mu & _U32
+        mid = (x_lo * mu_hi + ((x_lo * mu_lo) >> _SHIFT32) + x_hi * mu_lo)
+        q_hat = x_hi * mu_hi + (mid >> _SHIFT32)
+        r = x - q_hat * self.q
+        return np.where(r >= 2 * self.q, r - 2 * self.q, r)
+
+    def reduce_strict(self, r: np.ndarray) -> np.ndarray:
+        return np.where(r >= self.q, r - self.q, r)
+
+
+class MontgomeryReducer:
+    """Unsigned Montgomery reduction with R = 2^32.
+
+    reduce(x) returns x * 2^-32 mod q in [0, 2q).  to_form / from_form
+    convert into and out of the Montgomery representation x*2^32 mod q.
+    """
+
+    def __init__(self, q: int) -> None:
+        if not (2 < q < 2**31) or q % 2 == 0:
+            raise ParameterError(f"Montgomery modulus {q} invalid")
+        self.q = np.uint64(q)
+        self.q_int = q
+        self.q_inv_neg = np.uint64((-pow(q, -1, 1 << 32)) % (1 << 32))
+        self.r2 = pow(1 << 32, 2, q)  # for to_form
+
+    def reduce(self, x: np.ndarray) -> np.ndarray:
+        """x in [0, q*2^32) -> x*2^-32 mod q, result in [0, 2q)."""
+        m = mullo32(x & _U32, self.q_inv_neg)
+        t = (x + m * self.q) >> _SHIFT32
+        return t
+
+    def mulmod(self, a: np.ndarray, b: np.ndarray | int) -> np.ndarray:
+        return self.reduce(a.astype(np.uint64) * np.uint64(b))
+
+    def to_form(self, a: np.ndarray) -> np.ndarray:
+        return self.reduce_strict(self.mulmod(a.astype(np.uint64), self.r2))
+
+    def from_form(self, a: np.ndarray) -> np.ndarray:
+        return self.reduce_strict(self.reduce(a.astype(np.uint64)))
+
+    def reduce_strict(self, r: np.ndarray) -> np.ndarray:
+        return np.where(r >= self.q, r - self.q, r)
+
+
+class ShoupReducer:
+    """Shoup modular multiplication by a *constant* w.
+
+    Requires precomputing w' = floor(w * 2^32 / q) per constant, which is
+    the "many constants" drawback of Table 3: each unique multiplicand
+    needs its own precomputed companion (extra memory traffic).
+    """
+
+    def __init__(self, q: int) -> None:
+        if not (2 < q < 2**31):
+            raise ParameterError(f"Shoup modulus {q} out of range")
+        self.q = np.uint64(q)
+        self.q_int = q
+
+    def precompute(self, w: int) -> int:
+        return (w << 32) // self.q_int
+
+    def mulmod_const(self, a: np.ndarray, w: int, w_shoup: int) -> np.ndarray:
+        """a * w mod q with result in [0, 2q)."""
+        hi = mulhi32(a.astype(np.uint64), np.uint64(w_shoup))
+        r = (a.astype(np.uint64) * np.uint64(w) - hi * self.q) & _U32
+        return r
+
+    def reduce_strict(self, r: np.ndarray) -> np.ndarray:
+        return np.where(r >= self.q, r - self.q, r)
+
+
+class SignedMontgomeryReducer:
+    """Signed Montgomery reduction (SMR), Alg. 2 of the paper.
+
+    Works on signed representatives.  ``reduce(x)`` takes a 64-bit product
+    x in [-q*2^31, q*2^31) and returns y = x * 2^-32 mod q with y in
+    (-q, q) using exactly mulhi32 + mullo32 + a 32-bit subtract — the
+    cheapest row of Table 3.
+
+    The Montgomery constant here is m = q^-1 mod 2^32 interpreted as a
+    *signed* 32-bit value, matching Alg. 2's requirement m in [-2^31, 2^31).
+    """
+
+    def __init__(self, q: int) -> None:
+        if not (2 < q < 2**31) or q % 2 == 0:
+            raise ParameterError(f"SMR modulus {q} invalid")
+        self.q_int = q
+        self.q = np.int64(q)
+        m = pow(q, -1, 1 << 32)
+        if m >= 1 << 31:  # reinterpret as signed 32-bit
+            m -= 1 << 32
+        self.m = np.int64(m)
+        self.r2 = pow(1 << 32, 2, q)  # 2^64 mod q, for to_form
+        self.r1 = pow(1 << 32, 1, q)  # 2^32 mod q
+
+    def reduce(self, x: np.ndarray) -> np.ndarray:
+        """Alg. 2: x (int64, |x| < q*2^31) -> x*2^-32 mod q in (-q, q)."""
+        x = x.astype(np.int64, copy=False)
+        x_hi = x >> np.int64(32)  # line 1 (bit extraction, arithmetic shift)
+        x_lo = x & np.int64(0xFFFFFFFF)  # unsigned low half
+        z = _signed_mullo32(x_lo, np.broadcast_to(self.m, x_lo.shape))  # l.2
+        z = _signed_mulhi32(z, np.broadcast_to(self.q, z.shape))  # line 3
+        return x_hi - z  # line 4
+
+    def mulmod(self, a: np.ndarray, b: np.ndarray | int) -> np.ndarray:
+        """Product of signed representatives then SMR; |a|,|b| < q."""
+        prod = a.astype(np.int64) * (
+            b.astype(np.int64) if isinstance(b, np.ndarray) else np.int64(b)
+        )
+        return self.reduce(prod)
+
+    def to_form(self, a: np.ndarray) -> np.ndarray:
+        """Lift canonical residues [0, q) into Montgomery form (-q, q)."""
+        return self.reduce(a.astype(np.int64) * np.int64(self.r2))
+
+    def from_form(self, a: np.ndarray) -> np.ndarray:
+        """Drop the 2^32 factor: Montgomery form -> canonical [0, q)."""
+        return self.canonical(self.reduce(a.astype(np.int64)))
+
+    def canonical(self, a: np.ndarray) -> np.ndarray:
+        """Fold signed representatives (-q, q) into canonical [0, q)."""
+        a = a.astype(np.int64, copy=False)
+        return np.where(a < 0, a + self.q, a).astype(np.uint64)
+
+    def center(self, a: np.ndarray) -> np.ndarray:
+        """Fold canonical residues [0, q) into centered (-q/2, q/2]."""
+        a = a.astype(np.int64, copy=False)
+        return np.where(a > self.q // 2, a - self.q, a)
+
+
+def make_reducer(method: str, q: int):
+    """Factory over the four reduction methods of Table 3."""
+    if method == "barrett":
+        return BarrettReducer(q)
+    if method == "montgomery":
+        return MontgomeryReducer(q)
+    if method == "shoup":
+        return ShoupReducer(q)
+    if method == "smr":
+        return SignedMontgomeryReducer(q)
+    raise ParameterError(f"unknown reduction method {method!r}")
