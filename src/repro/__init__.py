@@ -1,0 +1,11 @@
+"""Bit-faithful reproduction of the paper's RNS-CKKS arithmetic stack.
+
+Subpackages: :mod:`repro.rns` (primes, reducers, rescaling cycles) and
+:mod:`repro.poly` (negacyclic NTT, RNS polynomials, lazy reduction, cost
+model).  See README.md for the architecture map.
+"""
+
+from repro.errors import CheddarError
+
+__all__ = ["CheddarError"]
+__version__ = "0.1.0"

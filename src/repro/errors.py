@@ -40,5 +40,13 @@ class LayoutError(CheddarError):
     """A polynomial's limb layout does not match the requested basis."""
 
 
+class AccumulatorOverflowError(CheddarError):
+    """A lazy-reduction accumulator was asked to exceed its range bound.
+
+    Raised *before* the offending accumulation so no wrapped value can
+    silently corrupt a result (§4.2's deferred-fold range discipline).
+    """
+
+
 class TraceError(CheddarError):
     """A trace-mode operation was asked to produce real numeric data."""

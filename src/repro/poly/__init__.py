@@ -1,0 +1,32 @@
+"""Polynomial layer: negacyclic NTT + RNS polynomials over the prime system.
+
+Layering (bottom up): :mod:`repro.rns` supplies limb primes, reducers and
+rescaling cycles; this package turns them into ring arithmetic —
+:class:`NegacyclicNTT` per limb, :class:`RnsPolynomial` across limbs,
+:class:`LazyAccumulator` for §4.2 deferred folds, and :class:`CostModel`
+for Table-3-style instruction pricing.
+"""
+
+from repro.poly.cost import MODADD_INSTRS, CostModel, OpCost, compare_methods
+from repro.poly.lazy import LazyAccumulator
+from repro.poly.ntt import (
+    NegacyclicNTT,
+    bit_reverse_permutation,
+    make_ntt_backend,
+)
+from repro.poly.rns_poly import COEFF, NTT, PolyContext, RnsPolynomial
+
+__all__ = [
+    "COEFF",
+    "NTT",
+    "MODADD_INSTRS",
+    "CostModel",
+    "LazyAccumulator",
+    "NegacyclicNTT",
+    "OpCost",
+    "PolyContext",
+    "RnsPolynomial",
+    "bit_reverse_permutation",
+    "compare_methods",
+    "make_ntt_backend",
+]

@@ -1,0 +1,205 @@
+"""Instruction-count pricing for polynomial kernels (Table 3, §4).
+
+The paper prices every kernel in equivalent int32 instructions, because the
+GPU's 32-bit integer datapath is the scarce resource CKKS arithmetic fights
+over.  This module rolls the per-modmul costs of
+:data:`repro.rns.reduction.REDUCTION_COSTS` up into per-operation counts for
+the polynomial layer: one NTT butterfly is one modular multiply plus two
+modular additions, an N-point NTT is ``(N/2) * log2(N)`` butterflies, and so
+on up through full RNS polynomial multiply and rescale.
+
+The counts are *nominal* arithmetic instruction counts — memory traffic and
+the per-constant precomputation Shoup needs (its ``extra_consts = -1``
+sentinel in Table 3) are tracked separately as ``twiddle_consts`` so the
+memory-bound analysis of later PRs can price them differently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.rns.reduction import REDUCTION_COSTS
+
+#: int32 instructions per modular addition: one 32-bit add, then a
+#: compare-and-conditional-subtract (set-predicate + subtract-with-select
+#: fuse to one instruction on the modeled datapath).
+MODADD_INSTRS = 2
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Arithmetic cost of one polynomial-layer operation.
+
+    Attributes:
+        name: operation label (e.g. ``"ntt"``, ``"rescale"``).
+        method: reduction method pricing the modmuls.
+        modmuls: modular multiplications performed.
+        modadds: modular additions/subtractions performed.
+        twiddle_consts: precomputed per-prime table entries the op reads
+            (twiddles, Shoup companions, inverse factors).
+    """
+
+    name: str
+    method: str
+    modmuls: int
+    modadds: int
+    twiddle_consts: int = 0
+
+    @property
+    def int32_instrs(self) -> int:
+        """Total equivalent int32 instructions (Table 3 pricing)."""
+        per_mul = REDUCTION_COSTS[self.method].total_instrs
+        return self.modmuls * per_mul + self.modadds * MODADD_INSTRS
+
+    def scaled(self, factor: int, name: str | None = None) -> OpCost:
+        return OpCost(
+            name or self.name,
+            self.method,
+            self.modmuls * factor,
+            self.modadds * factor,
+            self.twiddle_consts * factor,
+        )
+
+
+class CostModel:
+    """Table-3-style instruction counts for one (N, num_limbs, method).
+
+    Each method returns an :class:`OpCost`; :meth:`table` renders the whole
+    operation set the way Table 3 renders reducers — one row per op with
+    its modmul/modadd/int32 totals.
+    """
+
+    def __init__(self, ring_degree: int, num_limbs: int, method: str) -> None:
+        if method not in REDUCTION_COSTS:
+            raise ParameterError(f"unknown reduction method {method!r}")
+        if ring_degree < 2 or ring_degree & (ring_degree - 1):
+            raise ParameterError(
+                f"ring degree {ring_degree} is not a power of two"
+            )
+        self.n = ring_degree
+        self.log_n = ring_degree.bit_length() - 1
+        self.num_limbs = num_limbs
+        self.method = method
+
+    # -- single-limb building blocks ---------------------------------------
+    @property
+    def butterflies_per_ntt(self) -> int:
+        return (self.n // 2) * self.log_n
+
+    def ntt(self) -> OpCost:
+        """One forward NTT on one limb: (N/2)·log2(N) butterflies.
+
+        Each butterfly spends one twiddle modmul and two modadds; the
+        twiddle table holds N entries (2N for Shoup with companions).
+        """
+        shoup = 2 if self.method == "shoup" else 1
+        return OpCost(
+            "ntt",
+            self.method,
+            modmuls=self.butterflies_per_ntt,
+            modadds=2 * self.butterflies_per_ntt,
+            twiddle_consts=self.n * shoup,
+        )
+
+    def intt(self) -> OpCost:
+        """Inverse NTT: forward's butterflies plus the N-point n^-1 scale.
+
+        The n^-1 factor is one more stored constant — two under Shoup,
+        which precomputes a companion for it just like any other twiddle.
+        """
+        base = self.ntt()
+        shoup = 2 if self.method == "shoup" else 1
+        return OpCost(
+            "intt",
+            self.method,
+            modmuls=base.modmuls + self.n,
+            modadds=base.modadds,
+            twiddle_consts=base.twiddle_consts + shoup,
+        )
+
+    def pointwise(self) -> OpCost:
+        """N element-wise modmuls on one limb.
+
+        Shoup pays an on-the-fly companion precompute per element (charged
+        as one extra modmul-equivalent each) because pointwise operands are
+        data, not constants — Table 3's "many constants" drawback.
+        """
+        shoup_extra = self.n if self.method == "shoup" else 0
+        return OpCost(
+            "pointwise", self.method, modmuls=self.n + shoup_extra, modadds=0
+        )
+
+    # -- full RNS operations -----------------------------------------------
+    def add(self) -> OpCost:
+        return OpCost(
+            "add", self.method, modmuls=0, modadds=self.n * self.num_limbs
+        )
+
+    def poly_multiply(self) -> OpCost:
+        """Full RNS negacyclic multiply: per limb, 2 NTT + pointwise + iNTT.
+
+        Each limb prime carries its own twiddle tables, so the constant
+        traffic scales with limbs exactly like the arithmetic does.
+        """
+        fwd, pw, inv = self.ntt(), self.pointwise(), self.intt()
+        return OpCost(
+            "poly_multiply",
+            self.method,
+            modmuls=(2 * fwd.modmuls + pw.modmuls + inv.modmuls)
+            * self.num_limbs,
+            modadds=(2 * fwd.modadds + pw.modadds + inv.modadds)
+            * self.num_limbs,
+            twiddle_consts=(fwd.twiddle_consts + inv.twiddle_consts)
+            * self.num_limbs,
+        )
+
+    def rescale(self) -> OpCost:
+        """Exact rescale: per surviving limb, N subtracts and N modmuls."""
+        limbs = self.num_limbs - 1
+        if limbs < 1:
+            raise ParameterError("rescale needs at least two limbs")
+        return OpCost(
+            "rescale",
+            self.method,
+            modmuls=self.n * limbs,
+            modadds=self.n * limbs,
+            twiddle_consts=limbs,  # q_last^-1 mod q_i per limb
+        )
+
+    # -- reporting ---------------------------------------------------------
+    def operations(self) -> list[OpCost]:
+        return [
+            self.ntt(),
+            self.intt(),
+            self.pointwise(),
+            self.add(),
+            self.poly_multiply(),
+            self.rescale(),
+        ]
+
+    def table(self) -> str:
+        """Render per-operation instruction counts, Table-3 style."""
+        header = (
+            f"N={self.n}, limbs={self.num_limbs}, method={self.method} "
+            f"(modmul = {REDUCTION_COSTS[self.method].total_instrs} int32 "
+            f"instrs, range {REDUCTION_COSTS[self.method].output_range})"
+        )
+        rows = [header, f"{'op':<14}{'modmul':>10}{'modadd':>10}"
+                f"{'consts':>8}{'int32':>12}"]
+        for op in self.operations():
+            rows.append(
+                f"{op.name:<14}{op.modmuls:>10}{op.modadds:>10}"
+                f"{op.twiddle_consts:>8}{op.int32_instrs:>12}"
+            )
+        return "\n".join(rows)
+
+
+def compare_methods(ring_degree: int, num_limbs: int) -> dict[str, int]:
+    """int32 instructions for a full RNS multiply under each Table-3 method."""
+    return {
+        method: CostModel(ring_degree, num_limbs, method)
+        .poly_multiply()
+        .int32_instrs
+        for method in REDUCTION_COSTS
+    }

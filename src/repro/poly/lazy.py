@@ -1,0 +1,172 @@
+"""Lazy-reduction accumulation (§4.2 of the paper).
+
+Inner-product-shaped kernels (basis conversion, key switching) sum many
+modular products per output coefficient.  Folding every partial sum back
+into canonical range wastes instructions; the paper instead lets partial
+sums ride in a wide accumulator and folds once at the end.  SMR makes this
+especially cheap because its output range (-q, q) is symmetric and its
+input precondition (|x| < q * 2^31, Alg. 2) leaves headroom to defer work
+into.
+
+Two deferral strategies, both wrapped by :class:`LazyAccumulator`:
+
+* ``reduced`` — each product is reduced first (into (-q, q) for SMR,
+  [0, 2q) for the unsigned reducers) and the *folds* are deferred: partial
+  sums accumulate raw in 64-bit.  Headroom is ~2^32 terms; works with every
+  Table-3 reducer.
+* ``raw`` (SMR only) — the *reductions themselves* are deferred: raw 64-bit
+  products accumulate unreduced and one final SMR reduce folds the whole
+  sum.  Alg. 2's precondition caps this at ``floor(2^31 / q)`` products
+  — ~64 for a Pr~25 terminal prime but only ~2 for a Pr~30 main prime,
+  which is why the paper's kernels interleave partial folds.
+
+The accumulator carries an explicit worst-case bound tracker: every
+``accumulate`` asserts the new bound still fits the strategy's domain and
+raises :class:`~repro.errors.AccumulatorOverflowError` before any wraparound
+can corrupt a result silently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AccumulatorOverflowError, ParameterError
+from repro.rns.reduction import SignedMontgomeryReducer
+
+_INT64_MAX = 2**63 - 1
+_UINT64_MAX = 2**64 - 1
+
+
+class LazyAccumulator:
+    """Accumulate modular products, deferring folds (or reductions).
+
+    Args:
+        reducer: a Table-3 reducer; ``raw`` strategy requires
+            :class:`~repro.rns.reduction.SignedMontgomeryReducer`.
+        shape: shape of the accumulated vector.
+        strategy: ``"reduced"`` or ``"raw"`` (see module docstring).
+
+    Montgomery-family reducers carry an implicit ``2^-32`` factor per
+    multiply; callers follow the NTT convention of pre-scaling one operand
+    into Montgomery form so accumulated values are plain residues.
+    """
+
+    def __init__(
+        self,
+        reducer,
+        shape: tuple[int, ...] | int,
+        *,
+        strategy: str = "reduced",
+    ) -> None:
+        if strategy not in ("reduced", "raw"):
+            raise ParameterError(f"unknown lazy strategy {strategy!r}")
+        self.signed = isinstance(reducer, SignedMontgomeryReducer)
+        if strategy == "raw" and not self.signed:
+            raise ParameterError(
+                "raw accumulation needs SMR: only Alg. 2 tolerates "
+                "unreduced 64-bit partial sums at its input"
+            )
+        self.reducer = reducer
+        self.strategy = strategy
+        self.q = int(reducer.q_int if hasattr(reducer, "q_int") else reducer.q)
+        dtype = np.int64 if self.signed else np.uint64
+        self.acc = np.zeros(shape, dtype=dtype)
+        #: worst-case |accumulator| given everything accumulated so far
+        self.bound = 0
+        self.terms = 0
+        if strategy == "raw":
+            # One final reduce must satisfy Alg. 2: |sum| < q * 2^31.
+            self.limit = self.q * 2**31 - 1
+            self._per_term = (self.q - 1) ** 2
+        elif self.signed:
+            self.limit = _INT64_MAX
+            self._per_term = self.q - 1  # SMR products land in (-q, q)
+        else:
+            self.limit = _UINT64_MAX
+            self._per_term = 2 * self.q - 1  # unsigned reducers: [0, 2q)
+
+    @property
+    def headroom(self) -> int:
+        """How many more worst-case terms fit before overflow."""
+        return (self.limit - self.bound) // self._per_term
+
+    def _charge(self, amount: int, what: str) -> None:
+        if self.bound + amount > self.limit:
+            raise AccumulatorOverflowError(
+                f"{what} would push the lazy bound to "
+                f"{self.bound + amount} > {self.limit} "
+                f"({self.terms} terms accumulated, strategy "
+                f"{self.strategy!r}, q={self.q}); fold first"
+            )
+        self.bound += amount
+
+    def accumulate_product(
+        self,
+        a: np.ndarray,
+        b: np.ndarray | int,
+        *,
+        b_shoup: np.ndarray | int | None = None,
+    ) -> LazyAccumulator:
+        """Add ``a * b`` (one modular product per lane) to the accumulator.
+
+        Operands must be valid reducer inputs (canonical or one-fold-lazy
+        residues).  ``reduced`` reduces now and defers the fold; ``raw``
+        defers the reduction itself.  With a Shoup reducer, pass
+        ``b_shoup = reducer.precompute(b)`` once and reuse it across terms
+        (Shoup's whole premise); it is computed on the fly when omitted.
+        """
+        self._charge(self._per_term, "accumulating a product")
+        if self.strategy == "raw":
+            prod = np.asarray(a).astype(np.int64) * (
+                b.astype(np.int64)
+                if isinstance(b, np.ndarray)
+                else np.int64(b)
+            )
+            self.acc += prod
+        elif hasattr(self.reducer, "mulmod"):
+            self.acc += self.reducer.mulmod(np.asarray(a), b).astype(
+                self.acc.dtype
+            )
+        else:  # Shoup multiplies by constants only; needs the companion
+            w = int(b) if not isinstance(b, np.ndarray) else b
+            if b_shoup is None:
+                b_shoup = self.reducer.precompute(w)
+            self.acc += self.reducer.mulmod_const(np.asarray(a), w, b_shoup)
+        self.terms += 1
+        return self
+
+    def accumulate_value(
+        self, v: np.ndarray, max_abs: int
+    ) -> LazyAccumulator:
+        """Add pre-reduced values with caller-declared worst-case |v|."""
+        if self.strategy == "raw":
+            raise ParameterError(
+                "raw accumulators take products only; reduce-then-add "
+                "values belong to the 'reduced' strategy"
+            )
+        self._charge(max_abs, "accumulating a value")
+        self.acc += np.asarray(v).astype(self.acc.dtype)
+        self.terms += 1
+        return self
+
+    def fold(self) -> np.ndarray:
+        """Collapse the deferred sum into canonical residues [0, q).
+
+        ``raw`` performs the single deferred SMR reduction (Alg. 2) first;
+        both strategies then take the exact centered remainder — on
+        hardware this terminal fold is a short Barrett chain, priced
+        separately by the cost model, executed once per output instead of
+        once per term.
+        """
+        acc = self.acc
+        if self.strategy == "raw":
+            acc = self.reducer.reduce(acc)  # one Alg. 2 pass, into (-q, q)
+        if self.signed:
+            # int64 floor-mod folds negatives straight into [0, q).
+            return (acc % np.int64(self.q)).astype(np.uint64)
+        return acc % np.uint64(self.q)
+
+    def reset(self) -> None:
+        self.acc[...] = 0
+        self.bound = 0
+        self.terms = 0

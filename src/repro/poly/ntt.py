@@ -1,0 +1,331 @@
+"""Negacyclic number-theoretic transform engine (§4 of the paper).
+
+Every kernel the paper prices — basis conversion, key switching, rescaling —
+bottoms out in limb-wise negacyclic NTTs over the 25-30 RNS prime system.
+This module implements the transform bit-faithfully on top of the Table-3
+reducers of :mod:`repro.rns.reduction`:
+
+* forward: iterative Cooley-Tukey decimation-in-time, natural-order input,
+  bit-reversed output;
+* inverse: iterative Gentleman-Sande decimation-in-frequency, bit-reversed
+  input, natural-order output (with the final ``n^-1`` scaling);
+* twiddles: powers of a primitive ``2N``-th root psi (``psi^N = -1``), stored
+  in bit-reversed order so each stage reads a contiguous slice — the memory
+  layout GPU NTT kernels use to keep twiddle loads coalesced.
+
+The negacyclic wrap means ``inverse(forward(a) . forward(b))`` is the product
+``a * b mod (x^N + 1)`` with no zero-padding, which is exactly the ring
+arithmetic CKKS needs.
+
+Reducer backends are interchangeable: ``method`` picks Shoup, SMR, Barrett or
+(unsigned) Montgomery per Table 3.  Montgomery-family backends keep the
+*twiddles* in Montgomery form (absorbing the ``2^-32`` factor into the table)
+so coefficients never leave the standard domain between butterflies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.rns.primes import Prime, primitive_root_of_unity
+from repro.rns.reduction import (
+    BarrettReducer,
+    MontgomeryReducer,
+    ShoupReducer,
+    SignedMontgomeryReducer,
+)
+
+
+def bit_reverse_permutation(n: int) -> np.ndarray:
+    """Index array ``p`` with ``p[i]`` = ``i`` bit-reversed over log2(n) bits."""
+    if n <= 0 or n & (n - 1):
+        raise ParameterError(f"bit reversal needs a power of two, got {n}")
+    log_n = n.bit_length() - 1
+    idx = np.arange(n, dtype=np.int64)
+    rev = np.zeros(n, dtype=np.int64)
+    for bit in range(log_n):
+        rev |= ((idx >> bit) & 1) << (log_n - 1 - bit)
+    return rev
+
+
+class _UnsignedBackend:
+    """Shared butterfly arithmetic for the [0, 2q)-output reducers.
+
+    Coefficients live as canonical residues [0, q) in uint64; every butterfly
+    folds back to canonical so stage outputs are always valid stage inputs.
+    Subclasses only decide how a coefficient-times-twiddle product is formed.
+    """
+
+    name = "unsigned"
+
+    def __init__(self, q: int) -> None:
+        self.q_int = q
+        self.q = np.uint64(q)
+
+    # -- domain conversion -------------------------------------------------
+    def enter(self, a: np.ndarray) -> np.ndarray:
+        a = np.asarray(a, dtype=np.uint64)
+        if a.size and int(a.max()) >= self.q_int:
+            raise ParameterError(
+                f"coefficient {int(a.max())} out of range [0, {self.q_int})"
+            )
+        return a.copy()
+
+    def exit(self, a: np.ndarray) -> np.ndarray:
+        return a
+
+    # -- modular ring ops --------------------------------------------------
+    def add(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        s = x + y
+        return np.where(s >= self.q, s - self.q, s)
+
+    def sub(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        d = x + self.q - y
+        return np.where(d >= self.q, d - self.q, d)
+
+    # Subclasses: prepare_twiddles(tw) -> tuple of arrays; mul(x, parts).
+
+
+class _BarrettBackend(_UnsignedBackend):
+    name = "barrett"
+
+    def __init__(self, q: int) -> None:
+        super().__init__(q)
+        self.red = BarrettReducer(q)
+
+    def prepare_twiddles(self, tw: np.ndarray) -> tuple[np.ndarray, ...]:
+        return (np.asarray(tw, dtype=np.uint64),)
+
+    def mul(self, x: np.ndarray, parts: tuple[np.ndarray, ...]) -> np.ndarray:
+        return self.red.reduce_strict(self.red.mulmod(x, parts[0]))
+
+
+class _MontgomeryBackend(_UnsignedBackend):
+    name = "montgomery"
+
+    def __init__(self, q: int) -> None:
+        super().__init__(q)
+        self.red = MontgomeryReducer(q)
+
+    def prepare_twiddles(self, tw: np.ndarray) -> tuple[np.ndarray, ...]:
+        # Twiddles are stored as w * 2^32 mod q so each butterfly's reduce
+        # cancels the Montgomery factor and coefficients stay plain.
+        return (self.red.to_form(np.asarray(tw, dtype=np.uint64)),)
+
+    def mul(self, x: np.ndarray, parts: tuple[np.ndarray, ...]) -> np.ndarray:
+        return self.red.reduce_strict(self.red.mulmod(x, parts[0]))
+
+
+class _ShoupBackend(_UnsignedBackend):
+    name = "shoup"
+
+    def __init__(self, q: int) -> None:
+        super().__init__(q)
+        self.red = ShoupReducer(q)
+
+    def prepare_twiddles(self, tw: np.ndarray) -> tuple[np.ndarray, ...]:
+        tw = np.asarray(tw, dtype=np.uint64)
+        return (tw, self.red.precompute(tw))
+
+    def mul(self, x: np.ndarray, parts: tuple[np.ndarray, ...]) -> np.ndarray:
+        w, w_shoup = parts
+        return self.red.reduce_strict(self.red.mulmod_const(x, w, w_shoup))
+
+
+class _SmrBackend:
+    """Signed Montgomery (Alg. 2) backend.
+
+    Coefficients live as signed representatives in (-q, q) in int64; every
+    butterfly folds once so the range never widens.  Twiddles are stored in
+    signed Montgomery form, making each twiddle multiply exactly Table 3's
+    cheapest row: mulhi32 + mullo32 + one 32-bit subtract.
+    """
+
+    name = "smr"
+
+    def __init__(self, q: int) -> None:
+        self.q_int = q
+        self.q = np.int64(q)
+        self.red = SignedMontgomeryReducer(q)
+
+    def enter(self, a: np.ndarray) -> np.ndarray:
+        a = np.asarray(a, dtype=np.uint64)
+        if a.size and int(a.max()) >= self.q_int:
+            raise ParameterError(
+                f"coefficient {int(a.max())} out of range [0, {self.q_int})"
+            )
+        return a.astype(np.int64)
+
+    def exit(self, a: np.ndarray) -> np.ndarray:
+        return self.red.canonical(a)
+
+    def add(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        s = x + y
+        s = np.where(s >= self.q, s - self.q, s)
+        return np.where(s <= -self.q, s + self.q, s)
+
+    def sub(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        d = x - y
+        d = np.where(d >= self.q, d - self.q, d)
+        return np.where(d <= -self.q, d + self.q, d)
+
+    def prepare_twiddles(self, tw: np.ndarray) -> tuple[np.ndarray, ...]:
+        tw = np.asarray(tw, dtype=np.uint64)
+        return (self.red.to_form(tw),)
+
+    def mul(self, x: np.ndarray, parts: tuple[np.ndarray, ...]) -> np.ndarray:
+        # |x| < q and |tw_mont| < q, so |x * tw| < q * 2^31: Alg. 2's domain.
+        return self.red.reduce(x * parts[0])
+
+
+_BACKENDS = {
+    "barrett": _BarrettBackend,
+    "montgomery": _MontgomeryBackend,
+    "shoup": _ShoupBackend,
+    "smr": _SmrBackend,
+}
+
+
+def make_ntt_backend(method: str, q: int):
+    """Factory over the four per-prime butterfly backends (Table 3)."""
+    try:
+        return _BACKENDS[method](q)
+    except KeyError:
+        raise ParameterError(f"unknown NTT backend {method!r}") from None
+
+
+class NegacyclicNTT:
+    """Per-prime negacyclic NTT with precomputed bit-reversed twiddles.
+
+    Args:
+        q: the limb prime (a :class:`Prime` or a raw int), q = 1 (mod 2N).
+        n: ring degree N, a power of two.
+        method: reducer backend; one of barrett / montgomery / shoup / smr.
+        psi: optionally a specific primitive 2N-th root of unity to use
+            (tests pin it for reproducibility); found via
+            :func:`primitive_root_of_unity` when omitted.
+    """
+
+    def __init__(
+        self,
+        q: int | Prime,
+        n: int,
+        method: str = "smr",
+        *,
+        psi: int | None = None,
+    ) -> None:
+        q = int(q)
+        if n < 2 or n & (n - 1):
+            raise ParameterError(f"ring degree {n} is not a power of two >= 2")
+        if (q - 1) % (2 * n):
+            raise ParameterError(f"q={q} is not NTT-friendly for N={n}")
+        self.q = q
+        self.n = n
+        self.log_n = n.bit_length() - 1
+        self.method = method
+        if psi is None:
+            psi = primitive_root_of_unity(2 * n, q)
+        elif pow(psi, n, q) != q - 1:
+            raise ParameterError(f"psi={psi} is not a primitive {2*n}-th root")
+        self.psi = psi
+        self.backend = make_ntt_backend(method, q)
+
+        brv = bit_reverse_permutation(n)
+        self._fwd = self.backend.prepare_twiddles(_power_table(psi, q, n)[brv])
+        psi_inv = pow(psi, -1, q)
+        self._inv = self.backend.prepare_twiddles(
+            _power_table(psi_inv, q, n)[brv]
+        )
+        self._n_inv = self.backend.prepare_twiddles(
+            np.array([pow(n, -1, q)], dtype=np.uint64)
+        )
+
+    # -- transforms --------------------------------------------------------
+    def forward(self, a: np.ndarray) -> np.ndarray:
+        """Coefficients (natural order) -> NTT values (bit-reversed order).
+
+        Cooley-Tukey DIT: log2(N) stages of N/2 butterflies
+        ``(u, v) -> (u + S*v, u - S*v)``, stage ``m`` reading the contiguous
+        twiddle slice ``[m, 2m)`` of the bit-reversed psi table.
+        """
+        b = self.backend
+        x = b.enter(a)
+        if x.shape != (self.n,):
+            raise ParameterError(f"expected shape ({self.n},), got {x.shape}")
+        t = self.n
+        m = 1
+        while m < self.n:
+            t >>= 1
+            blk = x.reshape(m, 2 * t)
+            u = blk[:, :t]
+            v = b.mul(blk[:, t:], _tw_slice(self._fwd, m, 2 * m))
+            hi = b.add(u, v)
+            lo = b.sub(u, v)
+            blk[:, :t] = hi
+            blk[:, t:] = lo
+            m <<= 1
+        return b.exit(x)
+
+    def inverse(self, a_hat: np.ndarray) -> np.ndarray:
+        """NTT values (bit-reversed order) -> coefficients (natural order).
+
+        Gentleman-Sande DIF: butterflies ``(u, v) -> (u + v, S*(u - v))``
+        then the final ``n^-1`` scaling.
+        """
+        b = self.backend
+        x = b.enter(a_hat)
+        if x.shape != (self.n,):
+            raise ParameterError(f"expected shape ({self.n},), got {x.shape}")
+        t = 1
+        m = self.n
+        while m > 1:
+            h = m >> 1
+            blk = x.reshape(h, 2 * t)
+            u = blk[:, :t]
+            v = blk[:, t:]
+            s = b.add(u, v)
+            d = b.mul(b.sub(u, v), _tw_slice(self._inv, h, 2 * h))
+            blk[:, :t] = s
+            blk[:, t:] = d
+            t <<= 1
+            m = h
+        x = b.mul(x, tuple(p[:1] for p in self._n_inv))
+        return b.exit(x)
+
+    # -- NTT-domain arithmetic ---------------------------------------------
+    def pointwise(self, a_hat: np.ndarray, b_hat: np.ndarray) -> np.ndarray:
+        """Element-wise product of two NTT-domain vectors, canonical [0, q).
+
+        Both inputs must come from :meth:`forward` (same bit-reversed
+        ordering); the ordering is consistent so no permutation is needed.
+        """
+        if np.shape(a_hat) != (self.n,) or np.shape(b_hat) != (self.n,):
+            raise ParameterError(
+                f"expected two ({self.n},) vectors, got "
+                f"{np.shape(a_hat)} and {np.shape(b_hat)}"
+            )
+        b = self.backend
+        x = b.enter(a_hat)
+        return b.exit(b.mul(x, b.prepare_twiddles(b_hat)))
+
+    def negacyclic_multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """``a * b mod (x^N + 1, q)`` via forward / pointwise / inverse."""
+        return self.inverse(self.pointwise(self.forward(a), self.forward(b)))
+
+
+def _power_table(base: int, q: int, n: int) -> np.ndarray:
+    """[base^0, base^1, ..., base^(n-1)] mod q as uint64."""
+    powers = np.empty(n, dtype=np.uint64)
+    acc = 1
+    for i in range(n):
+        powers[i] = acc
+        acc = acc * base % q
+    return powers
+
+
+def _tw_slice(
+    parts: tuple[np.ndarray, ...], lo: int, hi: int
+) -> tuple[np.ndarray, ...]:
+    """Stage slice [lo, hi) of a prepped twiddle table, as a column vector."""
+    return tuple(p[lo:hi].reshape(-1, 1) for p in parts)

@@ -1,0 +1,315 @@
+"""RNS polynomial arithmetic over the 25-30 prime system (§3.2, §4).
+
+An :class:`RnsPolynomial` is one ring element of ``Z_Q[x]/(x^N + 1)`` stored
+limb-wise: a ``(num_limbs, N)`` uint64 array whose row ``i`` holds the
+coefficients mod limb prime ``q_i``.  All arithmetic is limb-parallel, which
+is exactly how the paper's GPU pipeline executes it — each limb maps to an
+independent slice of thread blocks.
+
+A :class:`PolyContext` pins the limb basis (ordered primes from a
+:class:`~repro.rns.primes.PrimePool`), the ring degree, and the reduction
+method, and caches one :class:`~repro.poly.ntt.NegacyclicNTT` engine per
+limb.  Rescaling (:meth:`RnsPolynomial.exact_rescale`) drops the last limb
+with the inverse-CRT correction, following the level schedule a
+:class:`~repro.rns.cycle.RescalingCycle` prescribes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from functools import cached_property
+
+import numpy as np
+
+from repro.errors import LayoutError, LevelError, ParameterError
+from repro.poly.cost import CostModel
+from repro.poly.ntt import NegacyclicNTT
+from repro.rns.primes import Prime, PrimePool
+
+COEFF = "coeff"
+NTT = "ntt"
+
+
+class PolyContext:
+    """Limb basis + ring degree + reduction method for RNS polynomials.
+
+    Contexts are value-compared by ``(ring_degree, moduli, method)``: two
+    polynomials interoperate iff their contexts agree.  ``drop_last()``
+    returns (and caches) the child context one rescale level down.
+    """
+
+    def __init__(
+        self,
+        ring_degree: int,
+        primes: Sequence[Prime | int],
+        method: str = "smr",
+        *,
+        _engines: list[NegacyclicNTT] | None = None,
+    ) -> None:
+        if not primes:
+            raise ParameterError("a PolyContext needs at least one limb prime")
+        self.ring_degree = ring_degree
+        self.primes = [int(p) for p in primes]
+        if len(set(self.primes)) != len(self.primes):
+            raise ParameterError("limb primes must be pairwise distinct")
+        self.method = method
+        if _engines is not None:
+            # Internal reuse hook (drop_last): twiddle tables are immutable,
+            # so a child level shares its parent's per-limb engines.
+            if len(_engines) != len(self.primes) or any(
+                e.q != q for e, q in zip(_engines, self.primes)
+            ):
+                raise ParameterError("engine list does not match limb primes")
+            self.ntts = list(_engines)
+        else:
+            self.ntts = [
+                NegacyclicNTT(q, ring_degree, method) for q in self.primes
+            ]
+        #: column vector of limb moduli, broadcasts against (L, N) limb data
+        self.moduli = np.array(self.primes, dtype=np.uint64).reshape(-1, 1)
+        self._dropped: PolyContext | None = None
+
+    @classmethod
+    def from_pool(
+        cls,
+        pool: PrimePool,
+        *,
+        num_terminal: int,
+        num_main: int,
+        method: str = "smr",
+    ) -> PolyContext:
+        """Context over a level's live limbs: terminals first, then mains."""
+        return cls(
+            pool.ring_degree,
+            pool.limb_primes(num_terminal, num_main),
+            method,
+        )
+
+    @property
+    def num_limbs(self) -> int:
+        return len(self.primes)
+
+    @cached_property
+    def modulus(self) -> int:
+        """The full composite modulus Q = prod q_i (a Python int)."""
+        prod = 1
+        for q in self.primes:
+            prod *= q
+        return prod
+
+    @cached_property
+    def cost_model(self) -> CostModel:
+        """Table-3-style instruction pricing for ops in this context."""
+        return CostModel(self.ring_degree, self.num_limbs, self.method)
+
+    def drop_last(self) -> PolyContext:
+        """The context one rescale down (last limb removed), cached."""
+        if self.num_limbs < 2:
+            raise LevelError("cannot drop the last remaining limb")
+        if self._dropped is None:
+            self._dropped = PolyContext(
+                self.ring_degree,
+                self.primes[:-1],
+                self.method,
+                _engines=self.ntts[:-1],
+            )
+        return self._dropped
+
+    def compatible(self, other: PolyContext) -> bool:
+        return (
+            self.ring_degree == other.ring_degree
+            and self.primes == other.primes
+            and self.method == other.method
+        )
+
+    # -- constructors ------------------------------------------------------
+    def zeros(self) -> RnsPolynomial:
+        shape = (self.num_limbs, self.ring_degree)
+        return RnsPolynomial(self, np.zeros(shape, dtype=np.uint64), COEFF)
+
+    def random(self, rng: np.random.Generator) -> RnsPolynomial:
+        """Uniform element of R_Q, sampled limb-wise (for tests/benchmarks)."""
+        limbs = np.stack(
+            [
+                rng.integers(0, q, self.ring_degree, dtype=np.uint64)
+                for q in self.primes
+            ]
+        )
+        return RnsPolynomial(self, limbs, COEFF)
+
+    def from_int_coeffs(self, coeffs: Sequence[int]) -> RnsPolynomial:
+        """CRT-decompose integer coefficients into limb residues."""
+        if len(coeffs) != self.ring_degree:
+            raise LayoutError(
+                f"expected {self.ring_degree} coefficients, got {len(coeffs)}"
+            )
+        limbs = np.empty((self.num_limbs, self.ring_degree), dtype=np.uint64)
+        for i, q in enumerate(self.primes):
+            limbs[i] = np.array([int(c) % q for c in coeffs], dtype=np.uint64)
+        return RnsPolynomial(self, limbs, COEFF)
+
+
+class RnsPolynomial:
+    """One element of R_Q = Z_Q[x]/(x^N + 1) in limb-sliced RNS layout.
+
+    ``limbs[i, j]`` is coefficient ``j`` mod ``ctx.primes[i]`` — in the
+    coefficient domain when ``domain == "coeff"``, or NTT values (in the
+    engine's bit-reversed ordering) when ``domain == "ntt"``.
+    """
+
+    __slots__ = ("ctx", "limbs", "domain")
+
+    def __init__(
+        self, ctx: PolyContext, limbs: np.ndarray, domain: str = COEFF
+    ) -> None:
+        if domain not in (COEFF, NTT):
+            raise LayoutError(f"unknown domain {domain!r}")
+        if limbs.shape != (ctx.num_limbs, ctx.ring_degree):
+            raise LayoutError(
+                f"limb array {limbs.shape} != "
+                f"({ctx.num_limbs}, {ctx.ring_degree})"
+            )
+        self.ctx = ctx
+        self.limbs = limbs.astype(np.uint64, copy=False)
+        self.domain = domain
+
+    @property
+    def num_limbs(self) -> int:
+        return self.ctx.num_limbs
+
+    def _check(self, other: RnsPolynomial) -> None:
+        if not self.ctx.compatible(other.ctx):
+            raise ParameterError("operands come from incompatible contexts")
+        if self.domain != other.domain:
+            raise LayoutError(
+                f"domain mismatch: {self.domain} vs {other.domain}"
+            )
+
+    # -- limb-wise linear ops (valid in either domain) ---------------------
+    def add(self, other: RnsPolynomial) -> RnsPolynomial:
+        """Limb-wise modular addition (one conditional subtract, no div)."""
+        self._check(other)
+        q = self.ctx.moduli
+        s = self.limbs + other.limbs
+        return RnsPolynomial(self.ctx, np.where(s >= q, s - q, s), self.domain)
+
+    def sub(self, other: RnsPolynomial) -> RnsPolynomial:
+        self._check(other)
+        q = self.ctx.moduli
+        d = self.limbs + q - other.limbs
+        return RnsPolynomial(self.ctx, np.where(d >= q, d - q, d), self.domain)
+
+    def negate(self) -> RnsPolynomial:
+        q = self.ctx.moduli
+        neg = np.where(self.limbs == 0, self.limbs, q - self.limbs)
+        return RnsPolynomial(self.ctx, neg, self.domain)
+
+    def __add__(self, other: RnsPolynomial) -> RnsPolynomial:
+        return self.add(other)
+
+    def __sub__(self, other: RnsPolynomial) -> RnsPolynomial:
+        return self.sub(other)
+
+    def __neg__(self) -> RnsPolynomial:
+        return self.negate()
+
+    # -- domain switches ---------------------------------------------------
+    def to_ntt(self) -> RnsPolynomial:
+        if self.domain == NTT:
+            return self
+        out = np.empty_like(self.limbs)
+        for i, ntt in enumerate(self.ctx.ntts):
+            out[i] = ntt.forward(self.limbs[i])
+        return RnsPolynomial(self.ctx, out, NTT)
+
+    def to_coeff(self) -> RnsPolynomial:
+        if self.domain == COEFF:
+            return self
+        out = np.empty_like(self.limbs)
+        for i, ntt in enumerate(self.ctx.ntts):
+            out[i] = ntt.inverse(self.limbs[i])
+        return RnsPolynomial(self.ctx, out, COEFF)
+
+    # -- multiplication ----------------------------------------------------
+    def pointwise_multiply(self, other: RnsPolynomial) -> RnsPolynomial:
+        """Element-wise NTT-domain product; both operands must be in NTT."""
+        self._check(other)
+        if self.domain != NTT:
+            raise LayoutError("pointwise multiply requires NTT-domain inputs")
+        out = np.empty_like(self.limbs)
+        for i, ntt in enumerate(self.ctx.ntts):
+            out[i] = ntt.pointwise(self.limbs[i], other.limbs[i])
+        return RnsPolynomial(self.ctx, out, NTT)
+
+    def multiply(self, other: RnsPolynomial) -> RnsPolynomial:
+        """Negacyclic polynomial product via NTT-domain convolution.
+
+        Coefficient-domain operands are transformed in, multiplied
+        pointwise, and transformed back; NTT-domain operands stay in NTT
+        (the caller chose that layout deliberately, e.g. to amortize the
+        forward transforms across several products).
+        """
+        self._check(other)
+        if self.domain == NTT:
+            return self.pointwise_multiply(other)
+        prod = self.to_ntt().pointwise_multiply(other.to_ntt())
+        return prod.to_coeff()
+
+    def __mul__(self, other: RnsPolynomial) -> RnsPolynomial:
+        return self.multiply(other)
+
+    # -- rescaling ---------------------------------------------------------
+    def exact_rescale(self) -> RnsPolynomial:
+        """Divide by the last limb prime exactly, dropping that limb (§3.2).
+
+        Computes ``(c - [c]_{q_L}) / q_L`` limb-wise, where ``[c]_{q_L}`` is
+        the *centered* remainder: the inverse-CRT correction subtracts the
+        last limb's lift from every remaining limb, then multiplies by
+        ``q_L^-1 mod q_i``.  The centered lift keeps the implicit rounding
+        error at most ``q_L / 2``, i.e. the result is the nearest integer
+        polynomial to ``c / q_L`` (what CKKS rescaling needs for < 0.5 ulp
+        of scale noise).
+
+        Requires the coefficient domain: the correction mixes coefficients
+        of one limb into all others, which has no pointwise NTT analogue.
+        """
+        if self.domain != COEFF:
+            raise LayoutError("exact_rescale requires the coefficient domain")
+        if self.num_limbs < 2:
+            raise LevelError("cannot rescale a single-limb polynomial")
+        child = self.ctx.drop_last()
+        q_last = self.ctx.primes[-1]
+        last = self.limbs[-1].astype(np.int64)
+        # Centered lift of the dropped limb: (-q_L/2, q_L/2].
+        centered = np.where(last > q_last // 2, last - q_last, last)
+        out = np.empty((child.num_limbs, self.ctx.ring_degree), np.uint64)
+        for i, q in enumerate(child.primes):
+            r = centered % q  # numpy int64 % folds negatives into [0, q)
+            diff = self.limbs[i] + np.uint64(q) - r.astype(np.uint64)
+            diff = np.where(diff >= q, diff - np.uint64(q), diff)
+            inv = pow(q_last, -1, q)
+            # diff < q < 2^31 and inv < 2^31: the product fits uint64.
+            out[i] = diff * np.uint64(inv) % np.uint64(q)
+        return RnsPolynomial(child, out, COEFF)
+
+    # -- CRT reconstruction (reference/tests; Python-int arithmetic) -------
+    def to_int_coeffs(self, *, centered: bool = True) -> list[int]:
+        """CRT-reconstruct coefficients as Python ints mod Q.
+
+        With ``centered`` the representatives lie in ``(-Q/2, Q/2]``,
+        matching the signed plaintext convention; otherwise ``[0, Q)``.
+        """
+        if self.domain != COEFF:
+            raise LayoutError("CRT reconstruction requires coefficient domain")
+        big_q = self.ctx.modulus
+        acc = [0] * self.ctx.ring_degree
+        for i, q in enumerate(self.ctx.primes):
+            m_i = big_q // q
+            lift = m_i * pow(m_i, -1, q)
+            row = self.limbs[i]
+            for j in range(self.ctx.ring_degree):
+                acc[j] = (acc[j] + int(row[j]) * lift) % big_q
+        if centered:
+            half = big_q // 2
+            acc = [c - big_q if c > half else c for c in acc]
+        return acc

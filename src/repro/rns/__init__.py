@@ -1,0 +1,43 @@
+"""RNS layer: NTT-friendly primes, Table-3 reducers, rescaling cycles."""
+
+from repro.rns.cycle import (
+    CycleMove,
+    RescalingCycle,
+    enumerate_moves,
+    find_rescaling_cycle,
+)
+from repro.rns.primes import (
+    Prime,
+    PrimePool,
+    is_prime,
+    ntt_friendly_primes,
+    primitive_root_of_unity,
+)
+from repro.rns.reduction import (
+    REDUCTION_COSTS,
+    BarrettReducer,
+    MontgomeryReducer,
+    ReductionCost,
+    ShoupReducer,
+    SignedMontgomeryReducer,
+    make_reducer,
+)
+
+__all__ = [
+    "REDUCTION_COSTS",
+    "BarrettReducer",
+    "CycleMove",
+    "MontgomeryReducer",
+    "Prime",
+    "PrimePool",
+    "ReductionCost",
+    "RescalingCycle",
+    "ShoupReducer",
+    "SignedMontgomeryReducer",
+    "enumerate_moves",
+    "find_rescaling_cycle",
+    "is_prime",
+    "make_reducer",
+    "ntt_friendly_primes",
+    "primitive_root_of_unity",
+]

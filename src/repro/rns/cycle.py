@@ -18,6 +18,7 @@ possible while still exceeding the scale (the paper's 50-bit base for
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.errors import ParameterError
@@ -40,9 +41,18 @@ class CycleMove:
 def enumerate_moves(
     log_delta: int, main_bits: int, terminal_bits: int, max_terminal: int
 ) -> list[CycleMove]:
-    """All single-step moves whose nominal log-scale change is log_delta."""
+    """All single-step moves whose nominal log-scale change is log_delta.
+
+    The log identity ``main_bits*main_delta + terminal_bits*terminal_delta
+    == log_delta`` with ``|terminal_delta| <= max_terminal`` bounds
+    ``main_delta`` to the window centered on ``log_delta / main_bits`` with
+    half-width ``terminal_bits * max_terminal / main_bits``; the window is
+    derived from those parameters, symmetric around its center.
+    """
+    lo = math.ceil((log_delta - terminal_bits * max_terminal) / main_bits)
+    hi = math.floor((log_delta + terminal_bits * max_terminal) / main_bits)
     moves = []
-    for main_delta in range(-max_terminal, max_terminal + 3):
+    for main_delta in range(lo, hi + 1):
         rem = log_delta - main_bits * main_delta
         if rem % terminal_bits:
             continue

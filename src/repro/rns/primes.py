@@ -15,6 +15,7 @@ the prime system to < 0.1 bits (§3.2).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.errors import PrimeSearchError
@@ -76,9 +77,16 @@ class Prime:
 
     @property
     def log2(self) -> float:
-        import math
-
         return math.log2(self.value)
+
+    def root_of_unity(self, order: int) -> int:
+        """Primitive ``order``-th root of unity mod this prime.
+
+        The negacyclic NTT layer calls this with ``order = 2N``; it exists
+        whenever ``2N | q - 1``, which :func:`ntt_friendly_primes` guarantees
+        for the ring degree the prime was generated for.
+        """
+        return primitive_root_of_unity(order, self.value)
 
     def __int__(self) -> int:
         return self.value
@@ -202,7 +210,7 @@ class PrimePool:
         num_terminal: int,
         num_aux: int,
         aux_bits: int | None = None,
-    ) -> "PrimePool":
+    ) -> PrimePool:
         """Generate disjoint main/terminal/aux lists for one construction."""
         aux_bits = aux_bits if aux_bits is not None else main_bits
         main = ntt_friendly_primes(main_bits, num_main, ring_degree, kind="main")
@@ -219,6 +227,21 @@ class PrimePool:
     @property
     def all_primes(self) -> list[Prime]:
         return self.terminal + self.main + self.aux
+
+    def limb_primes(self, num_terminal: int, num_main: int) -> list[Prime]:
+        """The live limb moduli for a level: terminals first, then mains.
+
+        The 25-30 system draws both lists in fixed order (§3.2), so the limb
+        basis at any level is always a prefix of each list.  This is the
+        ordering :class:`repro.poly.rns_poly.RnsPolynomial` keeps its limbs
+        in; ``exact_rescale`` drops the *last* limb, i.e. the highest main.
+        """
+        if num_terminal > len(self.terminal) or num_main > len(self.main):
+            raise PrimeSearchError(
+                f"pool holds {len(self.terminal)} terminal / {len(self.main)} "
+                f"main primes; asked for {num_terminal}/{num_main}"
+            )
+        return self.terminal[:num_terminal] + self.main[:num_main]
 
     def assert_disjoint(self) -> None:
         values = [p.value for p in self.all_primes]

@@ -26,12 +26,12 @@ _SHIFT32 = np.uint64(32)
 
 def mullo32(a: np.ndarray, b: np.ndarray | int) -> np.ndarray:
     """Lower 32 bits of a 32x32-bit product (uint64 carrier)."""
-    return (a * np.uint64(b)) & _U32
+    return (a * np.asarray(b, dtype=np.uint64)) & _U32
 
 
 def mulhi32(a: np.ndarray, b: np.ndarray | int) -> np.ndarray:
     """Upper 32 bits of a 32x32-bit unsigned product."""
-    return ((a & _U32) * (np.uint64(b) & _U32)) >> _SHIFT32
+    return ((a & _U32) * (np.asarray(b, dtype=np.uint64) & _U32)) >> _SHIFT32
 
 
 def _signed_mulhi32(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -93,7 +93,14 @@ class BarrettReducer:
         self.mu = (1 << 64) // q  # fits in 33 bits for q near 2^31
 
     def mulmod(self, a: np.ndarray, b: np.ndarray | int) -> np.ndarray:
-        x = a.astype(np.uint64) * np.uint64(b)
+        """a * b mod q with result in [0, 2q) (Table 3).
+
+        Valid input range: ``a`` and ``b`` must be canonical residues in
+        ``[0, q)`` with ``q < 2^31``; the 64-bit product then never wraps
+        and the mu-approximation error stays below 2q.  ``b`` may be a
+        scalar or an array broadcastable against ``a``.
+        """
+        x = a.astype(np.uint64) * np.asarray(b, dtype=np.uint64)
         # q_hat = floor(x * mu / 2^64), computed via the high product.
         # NumPy lacks 128-bit ints; emulate with 32-bit halves as a GPU would.
         x_hi = x >> _SHIFT32
@@ -132,7 +139,16 @@ class MontgomeryReducer:
         return t
 
     def mulmod(self, a: np.ndarray, b: np.ndarray | int) -> np.ndarray:
-        return self.reduce(a.astype(np.uint64) * np.uint64(b))
+        """a * b * 2^-32 mod q with result in [0, 2q) (Table 3).
+
+        Valid input range: any ``a, b >= 0`` with ``a * b < q * 2^32``;
+        canonical residues in ``[0, q)`` — or lazy values in ``[0, 2q)``
+        for ``q < 2^30`` — always qualify.  Note the implicit ``2^-32``
+        factor: feed ``b`` in Montgomery form (``b * 2^32 mod q``, see
+        :meth:`to_form`) to get a plain product out.  ``b`` may be a
+        scalar or an array broadcastable against ``a``.
+        """
+        return self.reduce(a.astype(np.uint64) * np.asarray(b, dtype=np.uint64))
 
     def to_form(self, a: np.ndarray) -> np.ndarray:
         return self.reduce_strict(self.mulmod(a.astype(np.uint64), self.r2))
@@ -158,13 +174,48 @@ class ShoupReducer:
         self.q = np.uint64(q)
         self.q_int = q
 
-    def precompute(self, w: int) -> int:
+    def precompute(self, w: int | np.ndarray) -> int | np.ndarray:
+        """Companion constant(s) w' = floor(w * 2^32 / q) for w in [0, q).
+
+        Raises:
+            ParameterError: if any ``w >= q`` (or ``w < 0``).  For such w
+                the companion exceeds 32 bits and ``mulmod_const`` would
+                silently truncate it, producing wrong residues.
+        """
+        if isinstance(w, np.ndarray):
+            if w.size and (int(w.min()) < 0 or int(w.max()) >= self.q_int):
+                raise ParameterError(
+                    f"Shoup constant out of range [0, {self.q_int}): "
+                    f"min={int(w.min())}, max={int(w.max())}"
+                )
+            # w < q < 2^31, so w << 32 < 2^63 stays inside uint64.
+            return (w.astype(np.uint64) << _SHIFT32) // np.uint64(self.q_int)
+        if not 0 <= w < self.q_int:
+            raise ParameterError(
+                f"Shoup constant {w} out of range [0, {self.q_int}): "
+                "precomputed companion would overflow 32 bits"
+            )
         return (w << 32) // self.q_int
 
-    def mulmod_const(self, a: np.ndarray, w: int, w_shoup: int) -> np.ndarray:
-        """a * w mod q with result in [0, 2q)."""
-        hi = mulhi32(a.astype(np.uint64), np.uint64(w_shoup))
-        r = (a.astype(np.uint64) * np.uint64(w) - hi * self.q) & _U32
+    def mulmod_const(
+        self,
+        a: np.ndarray,
+        w: int | np.ndarray,
+        w_shoup: int | np.ndarray,
+    ) -> np.ndarray:
+        """a * w mod q with result in [0, 2q) (Table 3).
+
+        Valid input range: ``a`` in ``[0, 2q)`` (lazy inputs are fine —
+        Shoup's error analysis only needs ``a < 2^32``), and ``w`` in
+        ``[0, q)`` with ``w_shoup = precompute(w)``.  ``w`` may be a scalar
+        or an array broadcastable against ``a`` (per-element constants, as
+        the NTT's per-stage twiddle vectors require); ``precompute`` is the
+        only sanctioned way to build ``w_shoup`` — it enforces ``w < q``.
+        """
+        w = np.asarray(w, dtype=np.uint64)
+        w_shoup = np.asarray(w_shoup, dtype=np.uint64)
+        hi = mulhi32(a.astype(np.uint64), w_shoup)
+        r = (a.astype(np.uint64) * w - hi * self.q) & _U32
         return r
 
     def reduce_strict(self, r: np.ndarray) -> np.ndarray:
@@ -205,7 +256,14 @@ class SignedMontgomeryReducer:
         return x_hi - z  # line 4
 
     def mulmod(self, a: np.ndarray, b: np.ndarray | int) -> np.ndarray:
-        """Product of signed representatives then SMR; |a|,|b| < q."""
+        """a * b * 2^-32 mod q with result in (-q, q) (Table 3).
+
+        Valid input range: signed representatives with ``|a| < 2^31`` and
+        ``|b| < q``  (so ``|a*b| < q*2^31``, Alg. 2's precondition).  The
+        usual case is both in ``(-q, q)``; the slack on ``a`` is what §4.2's
+        lazy accumulation spends.  Like Montgomery, the result carries a
+        ``2^-32`` factor — pre-scale one operand with :meth:`to_form`.
+        """
         prod = a.astype(np.int64) * (
             b.astype(np.int64) if isinstance(b, np.ndarray) else np.int64(b)
         )

@@ -1,0 +1,106 @@
+"""Cost-model validation: butterfly counts and Table-3 consistency."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.poly.cost import MODADD_INSTRS, CostModel, compare_methods
+from repro.rns.reduction import REDUCTION_COSTS
+
+
+def test_butterfly_count():
+    model = CostModel(256, 3, "smr")
+    assert model.butterflies_per_ntt == 128 * 8  # (N/2) * log2(N)
+    ntt = model.ntt()
+    assert ntt.modmuls == 1024
+    assert ntt.modadds == 2048  # two modadds per butterfly
+
+
+def test_int32_pricing_follows_table3():
+    model = CostModel(64, 2, "smr")
+    ntt = model.ntt()
+    per_mul = REDUCTION_COSTS["smr"].total_instrs
+    assert ntt.int32_instrs == ntt.modmuls * per_mul + (
+        ntt.modadds * MODADD_INSTRS
+    )
+
+
+def test_intt_adds_scaling_column():
+    model = CostModel(64, 2, "shoup")
+    assert model.intt().modmuls == model.ntt().modmuls + 64
+    assert model.intt().modadds == model.ntt().modadds
+
+
+def test_shoup_pays_for_companions():
+    """Table 3's 'many constants' drawback shows up in the model."""
+    shoup = CostModel(64, 2, "shoup")
+    smr = CostModel(64, 2, "smr")
+    assert shoup.ntt().twiddle_consts == 2 * smr.ntt().twiddle_consts
+    assert shoup.pointwise().modmuls > smr.pointwise().modmuls
+
+
+def test_poly_multiply_scales_with_limbs():
+    one = CostModel(64, 1, "smr").poly_multiply()
+    four = CostModel(64, 4, "smr").poly_multiply()
+    assert four.modmuls == 4 * one.modmuls
+    assert four.modadds == 4 * one.modadds
+    # Each limb prime owns its twiddle tables: consts scale with limbs too.
+    assert four.twiddle_consts == 4 * one.twiddle_consts
+
+
+def test_shoup_intt_charges_scaling_companion():
+    """n^-1 needs its Shoup companion, like every other stored constant."""
+    shoup = CostModel(64, 2, "shoup")
+    smr = CostModel(64, 2, "smr")
+    assert shoup.intt().twiddle_consts - shoup.ntt().twiddle_consts == 2
+    assert smr.intt().twiddle_consts - smr.ntt().twiddle_consts == 1
+
+
+def test_smr_is_cheapest_end_to_end():
+    """Alg. 2's Table-3 win must survive aggregation to full multiplies."""
+    totals = compare_methods(4096, 25)
+    assert totals["smr"] == min(totals.values())
+    assert totals["smr"] < totals["barrett"]
+
+
+def test_rescale_cost_counts_surviving_limbs():
+    model = CostModel(64, 4, "smr")
+    rescale = model.rescale()
+    assert rescale.modmuls == 64 * 3
+    assert rescale.modadds == 64 * 3
+    assert rescale.twiddle_consts == 3
+    with pytest.raises(ParameterError):
+        CostModel(64, 1, "smr").rescale()
+
+
+def test_table_renders_every_operation():
+    model = CostModel(64, 3, "smr")
+    text = model.table()
+    for op in ("ntt", "intt", "pointwise", "add", "poly_multiply", "rescale"):
+        assert op in text
+    assert "(-q, q)" in text  # SMR's Table-3 range in the header
+
+
+def test_validation():
+    with pytest.raises(ParameterError):
+        CostModel(60, 2, "smr")  # not a power of two
+    with pytest.raises(ParameterError):
+        CostModel(64, 2, "karatsuba")
+
+
+def test_context_exposes_cost_model(pool64):
+    from repro.poly.rns_poly import PolyContext
+
+    ctx = PolyContext.from_pool(pool64, num_terminal=1, num_main=2)
+    model = ctx.cost_model
+    assert model is ctx.cost_model  # cached
+    assert model.num_limbs == 3
+    assert model.method == "smr"
+    assert model.poly_multiply().int32_instrs > 0
+
+
+def test_scaled_opcost():
+    op = CostModel(64, 2, "smr").ntt()
+    twice = op.scaled(2, "double-ntt")
+    assert twice.name == "double-ntt"
+    assert twice.modmuls == 2 * op.modmuls
+    assert twice.int32_instrs == 2 * op.int32_instrs

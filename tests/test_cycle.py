@@ -1,0 +1,91 @@
+"""Rescaling-cycle search validation (§3.2).
+
+Pins the paper's headline example: Δ = 2^40 over the 25-30 prime system
+has the period-3 terminal-count orbit (2, 0, 4) with at most four terminal
+primes, and every move obeys the exact log identity.
+"""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.rns.cycle import (
+    enumerate_moves,
+    find_rescaling_cycle,
+)
+
+
+def test_paper_delta_2_40_cycle():
+    cycle = find_rescaling_cycle(40)
+    assert cycle.period == 3
+    assert cycle.peak_terminals == 4
+    assert sorted(cycle.terminal_counts) == [0, 2, 4]
+    # The orbit is (2, 0, 4) up to the base-choosing rotation.
+    doubled = cycle.terminal_counts * 2
+    assert any(
+        doubled[i : i + 3] == (2, 0, 4) for i in range(3)
+    ), cycle.terminal_counts
+
+
+def test_moves_satisfy_log_identity():
+    cycle = find_rescaling_cycle(40)
+    for move in cycle.moves:
+        assert 30 * move.main_delta + 25 * move.terminal_delta == 40
+    # One full period keeps terminal count fixed and consumes mains.
+    assert sum(m.terminal_delta for m in cycle.moves) == 0
+    assert cycle.mains_consumed_per_period > 0
+
+
+def test_enumerate_moves_window_is_exact():
+    """The derived main-delta window loses no moves and adds no junk."""
+    moves = enumerate_moves(40, 30, 25, 6)
+    assert {(m.main_delta, m.terminal_delta) for m in moves} == {
+        (-2, 4),
+        (3, -2),
+    }
+    # Brute-force over a huge window finds nothing more.
+    brute = set()
+    for main_delta in range(-100, 101):
+        rem = 40 - 30 * main_delta
+        if rem % 25 == 0 and abs(rem // 25) <= 6 and (main_delta, rem // 25) != (0, 0):
+            brute.add((main_delta, rem // 25))
+    assert {(m.main_delta, m.terminal_delta) for m in moves} == brute
+
+
+def test_enumerate_moves_symmetric_bounds():
+    """Window half-width follows terminal_bits*max_terminal/main_bits."""
+    moves = enumerate_moves(0, 30, 25, 6)
+    deltas = sorted(m.main_delta for m in moves)
+    # log_delta=0 makes the window symmetric around 0.
+    assert deltas == sorted(-d for d in deltas)
+    for m in moves:
+        assert 30 * m.main_delta + 25 * m.terminal_delta == 0
+
+
+def test_counts_along_levels():
+    cycle = find_rescaling_cycle(40)
+    count = cycle.terminal_counts[0]
+    for level in range(12):
+        assert cycle.terminal_count_at(level) == count
+        assert count >= 0
+        count += cycle.moves[level % cycle.period].terminal_delta
+    # main_count_at advances by mains_consumed_per_period each period.
+    base = 10
+    assert (
+        cycle.main_count_at(cycle.period, base)
+        == base + cycle.mains_consumed_per_period
+    )
+
+
+def test_impossible_delta_raises():
+    # 41 is not representable: 30m + 25t = 41 has no integer solutions
+    # (the left side is always a multiple of 5).
+    with pytest.raises(ParameterError):
+        find_rescaling_cycle(41)
+
+
+def test_other_prime_systems_still_solve():
+    """§3.2: 'similar prime systems, e.g. 24-30' for other deltas."""
+    cycle = find_rescaling_cycle(42, main_bits=30, terminal_bits=24)
+    assert cycle.period >= 1
+    for move in cycle.moves:
+        assert 30 * move.main_delta + 24 * move.terminal_delta == 42

@@ -1,0 +1,120 @@
+"""Lazy-reduction accumulation (§4.2): exactness and range discipline.
+
+The bound tracker is the safety property: it must refuse the accumulation
+*before* any 64-bit wraparound, for both deferral strategies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import AccumulatorOverflowError, ParameterError
+from repro.poly.lazy import LazyAccumulator
+from repro.rns.reduction import make_reducer
+
+Q_TERMINAL = 33554467  # ~2^25: raw strategy has ~64 terms of headroom
+Q_MAIN = 1073741969  # ~2^30: raw strategy has only ~2
+LANES = 64
+
+
+def _dot_reference(av, bv, q):
+    expect = np.zeros(av.shape[1], dtype=object)
+    for a, b in zip(av, bv):
+        expect = (expect + a.astype(object) * b.astype(object)) % q
+    return expect.astype(np.uint64)
+
+
+@pytest.mark.parametrize("strategy", ("reduced", "raw"))
+def test_smr_lazy_dot_is_exact(strategy, rng):
+    q = Q_TERMINAL
+    red = make_reducer("smr", q)
+    k = 32
+    av = rng.integers(0, q, (k, LANES), dtype=np.uint64)
+    bv = rng.integers(0, q, (k, LANES), dtype=np.uint64)
+    acc = LazyAccumulator(red, LANES, strategy=strategy)
+    for a, b in zip(av, bv):
+        # Montgomery-form operand cancels Alg. 2's 2^-32, as in the NTT.
+        acc.accumulate_product(a.astype(np.int64), red.to_form(b))
+    assert acc.terms == k
+    assert np.array_equal(acc.fold(), _dot_reference(av, bv, q))
+
+
+def test_unsigned_lazy_dot_is_exact(rng):
+    q = Q_MAIN
+    red = make_reducer("barrett", q)
+    k = 16
+    av = rng.integers(0, q, (k, LANES), dtype=np.uint64)
+    bv = rng.integers(0, q, (k, LANES), dtype=np.uint64)
+    acc = LazyAccumulator(red, LANES)
+    for a, b in zip(av, bv):
+        acc.accumulate_product(a, b)
+    assert np.array_equal(acc.fold(), _dot_reference(av, bv, q))
+
+
+def test_shoup_lazy_uses_precomputed_companions(rng):
+    q = Q_MAIN
+    red = make_reducer("shoup", q)
+    a = rng.integers(0, q, LANES, dtype=np.uint64)
+    acc = LazyAccumulator(red, LANES)
+    acc.accumulate_product(a, 12345)
+    acc.accumulate_product(a, q - 1)
+    # A caller-supplied companion (amortized across terms) must agree
+    # with the on-the-fly path.
+    acc.accumulate_product(a, 12345, b_shoup=red.precompute(12345))
+    expect = (a.astype(object) * (2 * 12345 + q - 1)) % q
+    assert np.array_equal(acc.fold(), expect.astype(np.uint64))
+
+
+def test_raw_headroom_matches_alg2_precondition():
+    """floor(2^31 / q)-ish terms for raw; ~2^32 folds for reduced."""
+    red = make_reducer("smr", Q_TERMINAL)
+    raw = LazyAccumulator(red, 4, strategy="raw")
+    assert raw.headroom == (Q_TERMINAL * 2**31 - 1) // (Q_TERMINAL - 1) ** 2
+    assert 60 <= raw.headroom <= 70  # ~64 for a Pr~25 prime
+    main = LazyAccumulator(make_reducer("smr", Q_MAIN), 4, strategy="raw")
+    assert main.headroom in (1, 2)  # ...but only ~2^31/q for a Pr~30 prime
+    reduced = LazyAccumulator(red, 4, strategy="reduced")
+    assert reduced.headroom > 2**31
+
+
+def test_overflow_raises_before_wraparound(rng):
+    q = Q_MAIN
+    red = make_reducer("smr", q)
+    a = rng.integers(0, q, 4, dtype=np.uint64).astype(np.int64)
+    b = red.to_form(rng.integers(0, q, 4, dtype=np.uint64))
+    acc = LazyAccumulator(red, 4, strategy="raw")
+    for _ in range(acc.headroom):
+        acc.accumulate_product(a, b)
+    snapshot_bound = acc.bound
+    with pytest.raises(AccumulatorOverflowError):
+        acc.accumulate_product(a, b)
+    assert acc.bound == snapshot_bound, "failed accumulation must not charge"
+    # After the refusal the accumulator still folds correctly.
+    expect = (
+        a.astype(object) * red.canonical(red.reduce(b)).astype(object)
+    ) * acc.terms % q
+    assert np.array_equal(acc.fold(), expect.astype(np.uint64))
+
+
+def test_accumulate_value_and_reset(rng):
+    q = Q_TERMINAL
+    red = make_reducer("smr", q)
+    acc = LazyAccumulator(red, 4)
+    v = np.array([1, 2, 3, 4], dtype=np.int64)
+    acc.accumulate_value(v, max_abs=4)
+    acc.accumulate_value(-v, max_abs=4)
+    assert np.array_equal(acc.fold(), np.zeros(4, dtype=np.uint64))
+    acc.reset()
+    assert acc.terms == 0 and acc.bound == 0
+    assert np.array_equal(acc.fold(), np.zeros(4, dtype=np.uint64))
+
+
+def test_strategy_validation():
+    red = make_reducer("barrett", Q_TERMINAL)
+    with pytest.raises(ParameterError):
+        LazyAccumulator(red, 4, strategy="raw")  # raw needs SMR
+    with pytest.raises(ParameterError):
+        LazyAccumulator(red, 4, strategy="eager")
+    smr = make_reducer("smr", Q_TERMINAL)
+    raw = LazyAccumulator(smr, 4, strategy="raw")
+    with pytest.raises(ParameterError):
+        raw.accumulate_value(np.zeros(4, dtype=np.int64), max_abs=1)

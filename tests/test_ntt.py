@@ -1,0 +1,131 @@
+"""NTT round-trip and negacyclic-convolution validation (acceptance bar).
+
+For N in {16, 64, 256} over freshly generated PrimePool limbs, and for the
+SMR and Shoup backends (plus Barrett/Montgomery for completeness):
+forward/inverse must be exact inverses, and NTT-domain multiply must equal
+the schoolbook negacyclic convolution computed with ``numpy.polymul`` over
+exact Python integers.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import negacyclic_schoolbook
+from repro.errors import ParameterError
+from repro.poly.ntt import NegacyclicNTT, bit_reverse_permutation
+from repro.rns.primes import PrimePool
+
+RING_DEGREES = (16, 64, 256)
+METHODS = ("smr", "shoup", "barrett", "montgomery")
+
+
+@pytest.fixture(scope="module", params=RING_DEGREES, ids=lambda n: f"N={n}")
+def fresh_pool(request) -> PrimePool:
+    """A freshly generated pool per ring degree (main + terminal limbs)."""
+    return PrimePool.generate(
+        request.param, num_main=2, num_terminal=1, num_aux=0
+    )
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_round_trip(fresh_pool, method, rng):
+    n = fresh_pool.ring_degree
+    for prime in fresh_pool.limb_primes(1, 2):
+        ntt = NegacyclicNTT(prime, n, method)
+        a = rng.integers(0, prime.value, n, dtype=np.uint64)
+        a_hat = ntt.forward(a)
+        assert a_hat.dtype == np.uint64
+        assert int(a_hat.max()) < prime.value, "outputs must be canonical"
+        assert np.array_equal(ntt.inverse(a_hat), a)
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_negacyclic_multiply_matches_schoolbook(fresh_pool, method, rng):
+    n = fresh_pool.ring_degree
+    for prime in fresh_pool.limb_primes(1, 2):
+        q = prime.value
+        ntt = NegacyclicNTT(prime, n, method)
+        a = rng.integers(0, q, n, dtype=np.uint64)
+        b = rng.integers(0, q, n, dtype=np.uint64)
+        expect = negacyclic_schoolbook(a, b, q)
+        assert np.array_equal(ntt.negacyclic_multiply(a, b), expect)
+
+
+@pytest.mark.parametrize("method", ("smr", "shoup"))
+def test_pointwise_is_commutative_and_canonical(fresh_pool, method, rng):
+    n = fresh_pool.ring_degree
+    prime = fresh_pool.main[0]
+    ntt = NegacyclicNTT(prime, n, method)
+    a_hat = ntt.forward(rng.integers(0, prime.value, n, dtype=np.uint64))
+    b_hat = ntt.forward(rng.integers(0, prime.value, n, dtype=np.uint64))
+    ab = ntt.pointwise(a_hat, b_hat)
+    ba = ntt.pointwise(b_hat, a_hat)
+    assert np.array_equal(ab, ba)
+    assert int(ab.max()) < prime.value
+
+
+def test_backends_agree(fresh_pool, rng):
+    """All four backends compute the identical transform bit-for-bit."""
+    n = fresh_pool.ring_degree
+    q = fresh_pool.main[0].value
+    a = rng.integers(0, q, n, dtype=np.uint64)
+    outs = [
+        NegacyclicNTT(q, n, method).forward(a.copy()) for method in METHODS
+    ]
+    for other in outs[1:]:
+        assert np.array_equal(outs[0], other)
+
+
+def test_multiply_by_x_rotates_negacyclically(fresh_pool):
+    """a(x) * x is a rotation with sign flip at the wrap: x^N = -1."""
+    n = fresh_pool.ring_degree
+    q = fresh_pool.main[0].value
+    ntt = NegacyclicNTT(q, n, "smr")
+    a = np.arange(1, n + 1, dtype=np.uint64)
+    x_poly = np.zeros(n, dtype=np.uint64)
+    x_poly[1] = 1
+    got = ntt.negacyclic_multiply(a, x_poly)
+    expect = np.roll(a, 1)
+    expect[0] = (q - a[-1]) % q  # wrapped coefficient comes back negated
+    assert np.array_equal(got, expect)
+
+
+def test_bit_reverse_permutation_involution():
+    for n in (2, 8, 64):
+        p = bit_reverse_permutation(n)
+        assert np.array_equal(p[p], np.arange(n))
+    with pytest.raises(ParameterError):
+        bit_reverse_permutation(12)
+
+
+def test_rejects_bad_parameters(fresh_pool):
+    q = fresh_pool.main[0].value
+    with pytest.raises(ParameterError):
+        NegacyclicNTT(q, 24, "smr")  # not a power of two
+    with pytest.raises(ParameterError):
+        NegacyclicNTT(97, 64, "smr")  # 97 != 1 mod 128
+    with pytest.raises(ParameterError):
+        NegacyclicNTT(q, fresh_pool.ring_degree, "avx512")
+    with pytest.raises(ParameterError):
+        NegacyclicNTT(q, fresh_pool.ring_degree, "smr", psi=2)
+
+
+def test_pointwise_rejects_mismatched_shapes(fresh_pool, rng):
+    """Silent broadcasting would corrupt ring products; must raise instead."""
+    n = fresh_pool.ring_degree
+    q = fresh_pool.main[0].value
+    ntt = NegacyclicNTT(q, n, "smr")
+    a_hat = ntt.forward(rng.integers(0, q, n, dtype=np.uint64))
+    with pytest.raises(ParameterError):
+        ntt.pointwise(a_hat, a_hat[:1])
+    with pytest.raises(ParameterError):
+        ntt.pointwise(a_hat[: n // 2], a_hat[: n // 2])
+
+
+def test_rejects_out_of_range_coefficients(fresh_pool):
+    n = fresh_pool.ring_degree
+    q = fresh_pool.main[0].value
+    ntt = NegacyclicNTT(q, n, "smr")
+    bad = np.full(n, q, dtype=np.uint64)  # q itself is not canonical
+    with pytest.raises(ParameterError):
+        ntt.forward(bad)

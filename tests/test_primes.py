@@ -1,0 +1,95 @@
+"""PrimePool validation: NTT-friendliness, disjointness, scale divergence.
+
+The < 0.1-bit scale-divergence bound (§3.2) is the property that makes the
+fixed prime lists usable as an RNS basis: products of consecutive primes
+track powers of 2^k closely enough that rescaling stays near-exact.
+"""
+
+import pytest
+
+from repro.errors import PrimeSearchError
+from repro.rns.primes import (
+    is_prime,
+    ntt_friendly_primes,
+    primitive_root_of_unity,
+)
+
+
+def test_pool_disjoint_and_ntt_friendly(pool64):
+    pool64.assert_disjoint()
+    for prime in pool64.all_primes:
+        assert is_prime(prime.value)
+        assert prime.value % (2 * pool64.ring_degree) == 1, "Eq. 3"
+        assert prime.value < 2**31, "32-bit datapath bound"
+
+
+def test_pool_kinds_and_order(pool64):
+    assert [p.kind for p in pool64.main] == ["main"] * len(pool64.main)
+    assert [p.index for p in pool64.main] == list(range(len(pool64.main)))
+    assert [p.index for p in pool64.terminal] == list(
+        range(len(pool64.terminal))
+    )
+    # limb order: terminals first, then mains (fixed-list prefix rule)
+    limbs = pool64.limb_primes(2, 3)
+    assert limbs == pool64.terminal[:2] + pool64.main[:3]
+    with pytest.raises(PrimeSearchError):
+        pool64.limb_primes(len(pool64.terminal) + 1, 0)
+
+
+def test_scale_divergence_below_tenth_bit(pool64):
+    """|log2(prod of first i mains) - 30*i| < 0.1 for every prefix."""
+    log_acc = 0.0
+    for i, prime in enumerate(pool64.main, start=1):
+        log_acc += prime.log2
+        assert abs(log_acc - 30 * i) < 0.1, (
+            f"prefix {i} diverges by {log_acc - 30 * i:.4f} bits"
+        )
+    log_acc = 0.0
+    for i, prime in enumerate(pool64.terminal, start=1):
+        log_acc += prime.log2
+        assert abs(log_acc - 25 * i) < 0.1
+
+
+def test_alternating_sides_balance():
+    """Consecutive picks straddle 2^k: deviations alternate in sign."""
+    primes = ntt_friendly_primes(28, 6, 64)
+    deviations = [p.value - 2**28 for p in primes]
+    signs = [1 if d > 0 else -1 for d in deviations]
+    assert signs == [(-1) ** i * signs[0] for i in range(len(signs))]
+
+
+def test_exclusion_respected(pool64):
+    taken = {p.value for p in pool64.main}
+    fresh = ntt_friendly_primes(
+        30, len(pool64.main), pool64.ring_degree, exclude=taken
+    )
+    assert not taken & {p.value for p in fresh}
+
+
+def test_bad_ring_degree_raises():
+    with pytest.raises(PrimeSearchError):
+        ntt_friendly_primes(30, 1, 96)
+
+
+def test_exhausted_window_raises():
+    # A 0.0-distance window around 2^30 contains no candidates at all.
+    with pytest.raises(PrimeSearchError):
+        ntt_friendly_primes(30, 40, 2**20, max_distance=0.0)
+
+
+def test_primitive_root_properties(pool64):
+    n = pool64.ring_degree
+    for prime in pool64.limb_primes(1, 1):
+        psi = prime.root_of_unity(2 * n)
+        q = prime.value
+        assert pow(psi, n, q) == q - 1, "psi^N = -1 (negacyclic requirement)"
+        assert pow(psi, 2 * n, q) == 1
+        with pytest.raises(PrimeSearchError):
+            primitive_root_of_unity(2 * (q - 1), q)  # order exceeds q - 1
+
+
+def test_prime_log2_and_repr(pool64):
+    prime = pool64.main[0]
+    assert abs(prime.log2 - 30) < 0.5
+    assert repr(prime).startswith("m0:")
+    assert int(prime) == prime.value

@@ -1,0 +1,168 @@
+"""Table-3 reducer validation: exact products and output-range claims.
+
+Every reducer is checked against ``(a * b) % q`` on randomized 31-bit
+inputs, *and* against the output range Table 3 claims for it — the range
+claims are what the lazy-reduction bounds of §4.2 are built on, so they
+are asserted directly rather than assumed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.rns.primes import ntt_friendly_primes
+from repro.rns.reduction import (
+    REDUCTION_COSTS,
+    ShoupReducer,
+    make_reducer,
+)
+
+# Fixed NTT-friendly moduli spanning the datapath: a Pr~25 terminal-sized
+# prime, a Pr~30 main-sized prime, and one just under 2^31.
+MODULI = [33554467, 1073741969, 2147483489]
+SIZE = 4096
+
+
+def _random_operands(q: int, rng: np.random.Generator):
+    a = rng.integers(0, q, SIZE, dtype=np.uint64)
+    b = rng.integers(0, q, SIZE, dtype=np.uint64)
+    # Force boundary values into the stream: 0, 1, q-1.
+    a[:3] = (0, 1, q - 1)
+    b[:3] = (q - 1, q - 1, q - 1)
+    return a, b
+
+
+@pytest.fixture(params=MODULI, ids=lambda q: f"q={q}")
+def q(request) -> int:
+    return request.param
+
+
+def test_moduli_are_prime():
+    from repro.rns.primes import is_prime
+
+    assert all(is_prime(q) for q in MODULI)
+
+
+def test_barrett_exact_and_range(q, rng):
+    red = make_reducer("barrett", q)
+    a, b = _random_operands(q, rng)
+    r = red.mulmod(a, b)
+    assert int(r.max()) < 2 * q, "Table 3: Barrett output range [0, 2q)"
+    expect = (a.astype(object) * b.astype(object)) % q
+    assert np.array_equal(red.reduce_strict(r), expect.astype(np.uint64))
+
+
+def test_montgomery_exact_and_range(q, rng):
+    red = make_reducer("montgomery", q)
+    a, b = _random_operands(q, rng)
+    lazy = red.mulmod(red.to_form(a), b)  # cancels the 2^-32 factor
+    assert int(lazy.max()) < 2 * q, "Table 3: Montgomery output range [0, 2q)"
+    expect = (a.astype(object) * b.astype(object)) % q
+    assert np.array_equal(red.reduce_strict(lazy), expect.astype(np.uint64))
+
+
+def test_montgomery_form_round_trip(q, rng):
+    red = make_reducer("montgomery", q)
+    a = rng.integers(0, q, SIZE, dtype=np.uint64)
+    assert np.array_equal(red.from_form(red.to_form(a)), a)
+
+
+def test_shoup_exact_and_range(q, rng):
+    red = make_reducer("shoup", q)
+    a = rng.integers(0, q, SIZE, dtype=np.uint64)
+    for w in (0, 1, 17, q // 2, q - 1):
+        w_shoup = red.precompute(w)
+        r = red.mulmod_const(a, w, w_shoup)
+        assert int(r.max()) < 2 * q, "Table 3: Shoup output range [0, 2q)"
+        expect = (a.astype(object) * w) % q
+        assert np.array_equal(red.reduce_strict(r), expect.astype(np.uint64))
+
+
+def test_shoup_vectorized_constants(q, rng):
+    red = make_reducer("shoup", q)
+    a = rng.integers(0, q, SIZE, dtype=np.uint64)
+    w = rng.integers(0, q, SIZE, dtype=np.uint64)
+    r = red.reduce_strict(red.mulmod_const(a, w, red.precompute(w)))
+    expect = (a.astype(object) * w.astype(object)) % q
+    assert np.array_equal(r, expect.astype(np.uint64))
+
+
+def test_shoup_rejects_constant_ge_q(q):
+    red: ShoupReducer = make_reducer("shoup", q)
+    for bad in (q, q + 1, 2 * q):
+        with pytest.raises(ParameterError):
+            red.precompute(bad)
+    with pytest.raises(ParameterError):
+        red.precompute(-1)
+    with pytest.raises(ParameterError):
+        red.precompute(np.array([0, 5, q], dtype=np.int64))
+
+
+def test_smr_exact_and_range(q, rng):
+    red = make_reducer("smr", q)
+    a, b = _random_operands(q, rng)
+    # Montgomery-form second operand cancels Alg. 2's 2^-32 factor.
+    r = red.mulmod(a.astype(np.int64), red.to_form(b))
+    assert int(r.max()) < q and int(r.min()) > -q, (
+        "Table 3: SMR output range (-q, q)"
+    )
+    expect = (a.astype(object) * b.astype(object)) % q
+    assert np.array_equal(red.canonical(r), expect.astype(np.uint64))
+
+
+def test_smr_signed_representatives(q, rng):
+    red = make_reducer("smr", q)
+    a = rng.integers(0, q, SIZE, dtype=np.uint64)
+    centered = red.center(a)
+    assert int(centered.max()) <= q // 2
+    assert int(centered.min()) > -q // 2 - 1
+    assert np.array_equal(red.canonical(centered), a)
+
+
+def test_smr_form_round_trip(q, rng):
+    red = make_reducer("smr", q)
+    a = rng.integers(0, q, SIZE, dtype=np.uint64)
+    assert np.array_equal(red.from_form(red.to_form(a)), a)
+
+
+def test_reducers_from_generated_primes(rng):
+    """All four methods agree on freshly generated NTT-friendly primes."""
+    for prime in ntt_friendly_primes(29, 2, 32):
+        q = prime.value
+        a = rng.integers(0, q, 512, dtype=np.uint64)
+        b = rng.integers(0, q, 512, dtype=np.uint64)
+        expect = ((a.astype(object) * b.astype(object)) % q).astype(np.uint64)
+        barrett = make_reducer("barrett", q)
+        mont = make_reducer("montgomery", q)
+        shoup = make_reducer("shoup", q)
+        smr = make_reducer("smr", q)
+        assert np.array_equal(
+            barrett.reduce_strict(barrett.mulmod(a, b)), expect
+        )
+        assert np.array_equal(
+            mont.reduce_strict(mont.mulmod(mont.to_form(a), b)), expect
+        )
+        assert np.array_equal(
+            shoup.reduce_strict(
+                shoup.mulmod_const(a, b, shoup.precompute(b))
+            ),
+            expect,
+        )
+        assert np.array_equal(
+            smr.canonical(smr.mulmod(a.astype(np.int64), smr.to_form(b))),
+            expect,
+        )
+
+
+def test_cost_table_claims():
+    """Table 3's shape: SMR is the cheapest row; ranges are as published."""
+    total = {m: c.total_instrs for m, c in REDUCTION_COSTS.items()}
+    assert total["smr"] == min(total.values())
+    assert REDUCTION_COSTS["smr"].output_range == "(-q, q)"
+    for method in ("barrett", "montgomery", "shoup"):
+        assert REDUCTION_COSTS[method].output_range == "[0, 2q)"
+
+
+def test_make_reducer_rejects_unknown():
+    with pytest.raises(ParameterError):
+        make_reducer("lookup-table", 97)

@@ -1,0 +1,157 @@
+"""RnsPolynomial validation against exact CRT big-integer references.
+
+Every limb-wise operation is cross-checked by reconstructing operands and
+results to Python integers mod Q = prod q_i — slow but exact, which is the
+point: the (num_limbs, N) limb layout must be *algebraically invisible*.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import negacyclic_schoolbook
+from repro.errors import LayoutError, LevelError, ParameterError
+from repro.poly.rns_poly import COEFF, NTT, PolyContext
+from repro.rns.primes import PrimePool, ntt_friendly_primes
+
+N = 16  # tiny ring keeps the exact big-int references fast
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    small = PrimePool.generate(N, num_main=2, num_terminal=1, num_aux=0)
+    return PolyContext.from_pool(small, num_terminal=1, num_main=2)
+
+
+def test_context_properties(ctx):
+    assert ctx.num_limbs == 3
+    assert ctx.modulus == ctx.primes[0] * ctx.primes[1] * ctx.primes[2]
+    assert ctx.moduli.shape == (3, 1)
+
+
+def test_int_coeffs_round_trip(ctx):
+    coeffs = list(range(-N // 2, N // 2))
+    poly = ctx.from_int_coeffs(coeffs)
+    assert poly.to_int_coeffs(centered=True) == coeffs
+    uncentered = poly.to_int_coeffs(centered=False)
+    assert uncentered == [c % ctx.modulus for c in coeffs]
+
+
+def test_add_sub_negate_match_crt(ctx, rng):
+    a, b = ctx.random(rng), ctx.random(rng)
+    ai = a.to_int_coeffs(centered=False)
+    bi = b.to_int_coeffs(centered=False)
+    big_q = ctx.modulus
+    assert (a + b).to_int_coeffs(centered=False) == [
+        (x + y) % big_q for x, y in zip(ai, bi)
+    ]
+    assert (a - b).to_int_coeffs(centered=False) == [
+        (x - y) % big_q for x, y in zip(ai, bi)
+    ]
+    assert (-a).to_int_coeffs(centered=False) == [(-x) % big_q for x in ai]
+    assert (a - a).to_int_coeffs(centered=False) == [0] * N
+
+
+def test_multiply_matches_schoolbook_per_limb(ctx, rng):
+    a, b = ctx.random(rng), ctx.random(rng)
+    prod = a * b
+    assert prod.domain == COEFF
+    for i, q in enumerate(ctx.primes):
+        expect = negacyclic_schoolbook(a.limbs[i], b.limbs[i], q)
+        assert np.array_equal(prod.limbs[i], expect)
+
+
+def test_multiply_matches_crt_reference(ctx, rng):
+    a, b = ctx.random(rng), ctx.random(rng)
+    ai = a.to_int_coeffs(centered=False)
+    bi = b.to_int_coeffs(centered=False)
+    big_q = ctx.modulus
+    ref = [0] * N
+    for i in range(N):
+        for j in range(N):
+            sign = 1 if i + j < N else -1
+            ref[(i + j) % N] = (ref[(i + j) % N] + sign * ai[i] * bi[j]) % big_q
+    assert (a * b).to_int_coeffs(centered=False) == ref
+
+
+def test_ntt_domain_round_trip_and_pointwise(ctx, rng):
+    a, b = ctx.random(rng), ctx.random(rng)
+    a_hat = a.to_ntt()
+    assert a_hat.domain == NTT
+    assert np.array_equal(a_hat.to_coeff().limbs, a.limbs)
+    # NTT-domain multiply stays in NTT; equals coeff-domain multiply.
+    prod_hat = a_hat.multiply(b.to_ntt())
+    assert prod_hat.domain == NTT
+    assert np.array_equal(prod_hat.to_coeff().limbs, (a * b).limbs)
+
+
+def test_exact_rescale_is_rounded_division(ctx, rng):
+    a = ctx.random(rng)
+    q_last = ctx.primes[-1]
+    rescaled = a.exact_rescale()
+    assert rescaled.num_limbs == ctx.num_limbs - 1
+    assert rescaled.ctx is ctx.drop_last()
+    got = rescaled.to_int_coeffs(centered=True)
+    for x, y in zip(a.to_int_coeffs(centered=True), got):
+        r = x % q_last
+        if r > q_last // 2:
+            r -= q_last  # centered remainder, (-q_L/2, q_L/2]
+        assert (x - r) // q_last == y
+
+
+def test_rescale_error_is_at_most_half(ctx, rng):
+    """|rescaled - x / q_L| <= 1/2: the 'exact' in exact rescaling."""
+    a = ctx.random(rng)
+    q_last = ctx.primes[-1]
+    got = a.exact_rescale().to_int_coeffs(centered=True)
+    for x, y in zip(a.to_int_coeffs(centered=True), got):
+        # |y - x/q_L| <= 1/2, checked in exact integer arithmetic.
+        assert 2 * abs(y * q_last - x) <= q_last
+
+
+def test_domain_and_context_errors(ctx, rng):
+    a, b = ctx.random(rng), ctx.random(rng)
+    with pytest.raises(LayoutError):
+        a.pointwise_multiply(b)  # coeff-domain operands
+    with pytest.raises(LayoutError):
+        a.to_ntt().exact_rescale()
+    with pytest.raises(LayoutError):
+        a.to_ntt().to_int_coeffs()
+    with pytest.raises(LayoutError):
+        a.to_ntt().add(b)  # mixed domains
+    other = PolyContext(ctx.ring_degree, ctx.primes, "shoup")
+    with pytest.raises(ParameterError):
+        a.add(other.random(rng))  # same primes, different method
+    single = PolyContext(ctx.ring_degree, ctx.primes[:1])
+    with pytest.raises(LevelError):
+        single.random(rng).exact_rescale()
+    with pytest.raises(LevelError):
+        single.drop_last()
+
+
+def test_context_validation():
+    with pytest.raises(ParameterError):
+        PolyContext(N, [])
+    with pytest.raises(ParameterError):
+        PolyContext(N, [97, 97])
+    ctx2 = PolyContext(N, [ntt_friendly_primes(30, 1, N)[0]])
+    with pytest.raises(LayoutError):
+        ctx2.from_int_coeffs([1, 2, 3])  # wrong length
+
+
+def test_shoup_backend_context_multiplies(ctx, rng):
+    """The acceptance bar calls out SMR and Shoup: rerun multiply on Shoup."""
+    shoup_ctx = PolyContext(ctx.ring_degree, ctx.primes, "shoup")
+    a, b = shoup_ctx.random(rng), shoup_ctx.random(rng)
+    prod = a * b
+    for i, q in enumerate(shoup_ctx.primes):
+        expect = negacyclic_schoolbook(a.limbs[i], b.limbs[i], q)
+        assert np.array_equal(prod.limbs[i], expect)
+
+
+def test_drop_last_is_cached(ctx):
+    assert ctx.drop_last() is ctx.drop_last()
+    assert ctx.drop_last().primes == ctx.primes[:-1]
+    # Twiddle tables are immutable: the child reuses the parent's engines
+    # instead of rebuilding them (rescale chains would be O(L^2) otherwise).
+    for child_ntt, parent_ntt in zip(ctx.drop_last().ntts, ctx.ntts):
+        assert child_ntt is parent_ntt
