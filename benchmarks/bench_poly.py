@@ -1,0 +1,209 @@
+#!/usr/bin/env python
+"""Benchmark harness: batched limb-matrix vs per-prime looped hot paths.
+
+Times the three polynomial-layer hot paths the paper's limb-parallel
+pitch lives or dies on — forward NTT, full negacyclic multiply, and exact
+rescale — in two implementations each:
+
+* ``batched``: the :class:`~repro.poly.batch_ntt.BatchNTT` /
+  vectorized-rescale pipeline ``RnsPolynomial`` runs in production, one
+  NumPy pass per stage over the whole ``(L, N)`` limb matrix;
+* ``looped``: the per-prime reference path — a Python loop over
+  per-limb :class:`~repro.poly.ntt.NegacyclicNTT` engines (and, for
+  rescale, the pre-caching per-limb loop that recomputed
+  ``pow(q_last, -1, q)`` on every call).
+
+Every cell is cross-checked for bit-equality before it is timed, the
+grid spans ``N in {1024, 4096} x L in {4, 12}`` across all four Table-3
+reducer backends, and the results land in ``BENCH_poly.json`` at the
+repository root (the start of the perf trajectory the ROADMAP asks for).
+
+Usage:
+    python benchmarks/bench_poly.py            # full grid, ~a minute
+    python benchmarks/bench_poly.py --smoke    # tiny grid for CI
+    python benchmarks/bench_poly.py --out PATH # write elsewhere
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.poly.rns_poly import PolyContext  # noqa: E402
+from repro.rns.primes import ntt_friendly_primes  # noqa: E402
+
+METHODS = ("barrett", "montgomery", "shoup", "smr")
+FULL_GRID = [(1024, 4), (1024, 12), (4096, 4), (4096, 12)]
+SMOKE_GRID = [(256, 4)]
+
+
+def _limbs_for(n: int, num_limbs: int) -> list[int]:
+    """A 25-30-style basis: one terminal limb, mains for the rest."""
+    terminal = ntt_friendly_primes(25, 1, n, kind="terminal")
+    taken = {p.value for p in terminal}
+    main = ntt_friendly_primes(
+        30, num_limbs - 1, n, exclude=taken, kind="main"
+    )
+    return [p.value for p in terminal + main]
+
+
+def _time(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall time — the least-noise estimator for
+    short, deterministic kernels."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# -- looped reference implementations (the pre-batching code paths) --------
+def _looped_forward(ctx: PolyContext, limbs: np.ndarray) -> np.ndarray:
+    out = np.empty_like(limbs)
+    for i, ntt in enumerate(ctx.ntts):
+        out[i] = ntt.forward(limbs[i])
+    return out
+
+
+def _looped_multiply(
+    ctx: PolyContext, a: np.ndarray, b: np.ndarray
+) -> np.ndarray:
+    out = np.empty_like(a)
+    for i, ntt in enumerate(ctx.ntts):
+        out[i] = ntt.inverse(ntt.pointwise(ntt.forward(a[i]), ntt.forward(b[i])))
+    return out
+
+
+def _looped_rescale(ctx: PolyContext, limbs: np.ndarray) -> np.ndarray:
+    q_last = ctx.primes[-1]
+    last = limbs[-1].astype(np.int64)
+    centered = np.where(last > q_last // 2, last - q_last, last)
+    out = np.empty((ctx.num_limbs - 1, ctx.ring_degree), np.uint64)
+    for i, q in enumerate(ctx.primes[:-1]):
+        r = centered % q
+        diff = limbs[i] + np.uint64(q) - r.astype(np.uint64)
+        diff = np.where(diff >= q, diff - np.uint64(q), diff)
+        inv = pow(q_last, -1, q)  # the per-call recompute being fixed
+        out[i] = diff * np.uint64(inv) % np.uint64(q)
+    return out
+
+
+def bench_config(
+    n: int, num_limbs: int, method: str, repeats: int, rng
+) -> list[dict]:
+    ctx = PolyContext(n, _limbs_for(n, num_limbs), method)
+    a = ctx.random(rng)
+    b = ctx.random(rng)
+    batch = ctx.batch_ntt
+
+    cells = []
+
+    # forward NTT ----------------------------------------------------------
+    looped = _looped_forward(ctx, a.limbs)
+    batched = batch.forward(a.limbs)
+    assert np.array_equal(looped, batched), "NTT paths disagree"
+    cells.append(
+        {
+            "op": "ntt_forward",
+            "batched_s": _time(lambda: batch.forward(a.limbs), repeats),
+            "looped_s": _time(lambda: _looped_forward(ctx, a.limbs), repeats),
+        }
+    )
+
+    # full negacyclic multiply --------------------------------------------
+    looped = _looped_multiply(ctx, a.limbs, b.limbs)
+    assert np.array_equal(looped, (a * b).limbs), "multiply paths disagree"
+    cells.append(
+        {
+            "op": "multiply",
+            "batched_s": _time(lambda: a * b, repeats),
+            "looped_s": _time(
+                lambda: _looped_multiply(ctx, a.limbs, b.limbs), repeats
+            ),
+        }
+    )
+
+    # exact rescale --------------------------------------------------------
+    looped = _looped_rescale(ctx, a.limbs)
+    assert np.array_equal(looped, a.exact_rescale().limbs), (
+        "rescale paths disagree"
+    )
+    cells.append(
+        {
+            "op": "rescale",
+            "batched_s": _time(lambda: a.exact_rescale(), repeats),
+            "looped_s": _time(lambda: _looped_rescale(ctx, a.limbs), repeats),
+        }
+    )
+
+    for cell in cells:
+        cell.update(
+            n=n,
+            limbs=num_limbs,
+            method=method,
+            speedup=round(cell["looped_s"] / cell["batched_s"], 2),
+        )
+    return cells
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny grid + fewer repeats (CI-speed sanity run)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=_REPO_ROOT / "BENCH_poly.json",
+        help="output JSON path (default: repo-root BENCH_poly.json)",
+    )
+    args = parser.parse_args(argv)
+
+    grid = SMOKE_GRID if args.smoke else FULL_GRID
+    repeats = 3 if args.smoke else 5
+    rng = np.random.default_rng(0xBE7C4)
+
+    results = []
+    for n, num_limbs in grid:
+        for method in METHODS:
+            cells = bench_config(n, num_limbs, method, repeats, rng)
+            results.extend(cells)
+            for cell in cells:
+                print(
+                    f"N={n:<5} L={num_limbs:<3} {method:<11} "
+                    f"{cell['op']:<12} batched {cell['batched_s']*1e3:8.3f} ms"
+                    f"  looped {cell['looped_s']*1e3:8.3f} ms"
+                    f"  speedup {cell['speedup']:6.2f}x"
+                )
+
+    payload = {
+        "meta": {
+            "bench": "bench_poly",
+            "smoke": args.smoke,
+            "repeats": repeats,
+            "timing": "best-of-repeats wall seconds",
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "results": results,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {len(results)} cells to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

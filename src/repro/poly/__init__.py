@@ -2,12 +2,21 @@
 
 Layering (bottom up): :mod:`repro.rns` supplies limb primes, reducers and
 rescaling cycles; this package turns them into ring arithmetic —
-:class:`NegacyclicNTT` per limb, :class:`RnsPolynomial` across limbs,
-:class:`LazyAccumulator` for §4.2 deferred folds, and :class:`CostModel`
-for Table-3-style instruction pricing.
+:class:`NegacyclicNTT` per limb (the reference path), :class:`BatchNTT`
+across the whole ``(num_limbs, N)`` limb matrix (the limb-parallel hot
+path), :class:`RnsPolynomial` across limbs, :class:`LazyAccumulator` for
+§4.2 deferred folds, and :class:`CostModel` for Table-3-style instruction
+pricing.
 """
 
-from repro.poly.cost import MODADD_INSTRS, CostModel, OpCost, compare_methods
+from repro.poly.batch_ntt import BatchNTT
+from repro.poly.cost import (
+    MODADD_INSTRS,
+    RAW64_INSTRS,
+    CostModel,
+    OpCost,
+    compare_methods,
+)
 from repro.poly.lazy import LazyAccumulator
 from repro.poly.ntt import (
     NegacyclicNTT,
@@ -20,6 +29,8 @@ __all__ = [
     "COEFF",
     "NTT",
     "MODADD_INSTRS",
+    "RAW64_INSTRS",
+    "BatchNTT",
     "CostModel",
     "LazyAccumulator",
     "NegacyclicNTT",

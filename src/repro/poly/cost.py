@@ -26,6 +26,11 @@ from repro.rns.reduction import REDUCTION_COSTS
 #: fuse to one instruction on the modeled datapath).
 MODADD_INSTRS = 2
 
+#: int32 instructions per *raw* 64-bit operation (a mulwide or a 64-bit
+#: add with no reduction attached): two, through the 32-bit datapath.
+#: §4.2's lazy accumulation trades modmuls/modadds for these.
+RAW64_INSTRS = 2
+
 
 @dataclass(frozen=True)
 class OpCost:
@@ -38,6 +43,9 @@ class OpCost:
         modadds: modular additions/subtractions performed.
         twiddle_consts: precomputed per-prime table entries the op reads
             (twiddles, Shoup companions, inverse factors).
+        raw_muls64: unreduced 64-bit multiplies (deferred-reduction §4.2
+            accumulation); priced at :data:`RAW64_INSTRS` each.
+        raw_adds64: unreduced 64-bit adds (deferred folds); same pricing.
     """
 
     name: str
@@ -45,12 +53,18 @@ class OpCost:
     modmuls: int
     modadds: int
     twiddle_consts: int = 0
+    raw_muls64: int = 0
+    raw_adds64: int = 0
 
     @property
     def int32_instrs(self) -> int:
         """Total equivalent int32 instructions (Table 3 pricing)."""
         per_mul = REDUCTION_COSTS[self.method].total_instrs
-        return self.modmuls * per_mul + self.modadds * MODADD_INSTRS
+        return (
+            self.modmuls * per_mul
+            + self.modadds * MODADD_INSTRS
+            + (self.raw_muls64 + self.raw_adds64) * RAW64_INSTRS
+        )
 
     def scaled(self, factor: int, name: str | None = None) -> OpCost:
         return OpCost(
@@ -59,6 +73,8 @@ class OpCost:
             self.modmuls * factor,
             self.modadds * factor,
             self.twiddle_consts * factor,
+            self.raw_muls64 * factor,
+            self.raw_adds64 * factor,
         )
 
 
@@ -154,6 +170,49 @@ class CostModel:
             * self.num_limbs,
         )
 
+    def multiply_accumulate(
+        self, terms: int, *, strategy: str = "reduced"
+    ) -> OpCost:
+        """Fused inner product of ``terms`` NTT-domain pairs (§4.2).
+
+        The key-switching shape: ``N * num_limbs`` lanes, each summing
+        ``terms`` modular products.  ``reduced`` pays one modmul per term
+        but defers every fold — partial sums ride as raw 64-bit adds, and
+        one terminal fold per lane (priced as one modmul-equivalent short
+        Barrett chain) replaces the per-term modadd a naive
+        multiply-then-add chain would pay.  ``raw`` (SMR only) defers the
+        reductions too: each term is a bare 64-bit multiply and add, and a
+        single Alg. 2 reduce per lane folds the whole sum.
+        """
+        if terms < 1:
+            raise ParameterError(
+                f"multiply_accumulate needs at least one term, got {terms}"
+            )
+        lanes = self.n * self.num_limbs
+        if strategy == "raw":
+            if self.method != "smr":
+                raise ParameterError(
+                    "raw accumulation needs SMR (§4.2): only Alg. 2 "
+                    "tolerates unreduced 64-bit partial sums at its input"
+                )
+            return OpCost(
+                "multiply_accumulate",
+                self.method,
+                modmuls=lanes,  # the one deferred reduce + fold per lane
+                modadds=0,
+                raw_muls64=terms * lanes,
+                raw_adds64=terms * lanes,
+            )
+        if strategy != "reduced":
+            raise ParameterError(f"unknown lazy strategy {strategy!r}")
+        return OpCost(
+            "multiply_accumulate",
+            self.method,
+            modmuls=(terms + 1) * lanes,  # products + terminal fold per lane
+            modadds=0,
+            raw_adds64=terms * lanes,
+        )
+
     def rescale(self) -> OpCost:
         """Exact rescale: per surviving limb, N subtracts and N modmuls."""
         limbs = self.num_limbs - 1
@@ -175,6 +234,7 @@ class CostModel:
             self.pointwise(),
             self.add(),
             self.poly_multiply(),
+            self.multiply_accumulate(2),
             self.rescale(),
         ]
 
@@ -185,11 +245,12 @@ class CostModel:
             f"(modmul = {REDUCTION_COSTS[self.method].total_instrs} int32 "
             f"instrs, range {REDUCTION_COSTS[self.method].output_range})"
         )
-        rows = [header, f"{'op':<14}{'modmul':>10}{'modadd':>10}"
-                f"{'consts':>8}{'int32':>12}"]
+        rows = [header, f"{'op':<20}{'modmul':>10}{'modadd':>10}"
+                f"{'raw64':>10}{'consts':>8}{'int32':>12}"]
         for op in self.operations():
             rows.append(
-                f"{op.name:<14}{op.modmuls:>10}{op.modadds:>10}"
+                f"{op.name:<20}{op.modmuls:>10}{op.modadds:>10}"
+                f"{op.raw_muls64 + op.raw_adds64:>10}"
                 f"{op.twiddle_consts:>8}{op.int32_instrs:>12}"
             )
         return "\n".join(rows)

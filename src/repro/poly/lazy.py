@@ -31,7 +31,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import AccumulatorOverflowError, ParameterError
-from repro.rns.reduction import SignedMontgomeryReducer
+from repro.rns.reduction import SignedMontgomeryReducer, align_rows
 
 _INT64_MAX = 2**63 - 1
 _UINT64_MAX = 2**64 - 1
@@ -43,6 +43,10 @@ class LazyAccumulator:
     Args:
         reducer: a Table-3 reducer; ``raw`` strategy requires
             :class:`~repro.rns.reduction.SignedMontgomeryReducer`.
+            Batched reducers (per-limb ``(L, 1)`` modulus columns) work
+            too: the bound tracker then uses the worst-case limb (largest
+            ``q`` for per-term magnitude, smallest for the raw-strategy
+            domain) and the fold reduces each row by its own modulus.
         shape: shape of the accumulated vector.
         strategy: ``"reduced"`` or ``"raw"`` (see module docstring).
 
@@ -68,14 +72,19 @@ class LazyAccumulator:
             )
         self.reducer = reducer
         self.strategy = strategy
-        self.q = int(reducer.q_int if hasattr(reducer, "q_int") else reducer.q)
+        qs = [int(v) for v in np.ravel(np.asarray(reducer.q))]
+        #: worst-case limb modulus — per-term bound charges use it
+        self.q = max(qs)
         dtype = np.int64 if self.signed else np.uint64
         self.acc = np.zeros(shape, dtype=dtype)
         #: worst-case |accumulator| given everything accumulated so far
         self.bound = 0
         self.terms = 0
         if strategy == "raw":
-            # One final reduce must satisfy Alg. 2: |sum| < q * 2^31.
+            # One final reduce must satisfy Alg. 2 for every limb row:
+            # row i allows ~q_i*2^31 / (q_i-1)^2 terms, decreasing in q_i,
+            # so the largest limb is the binding row — tracking its limit
+            # with its per-term magnitude is sound for all smaller rows.
             self.limit = self.q * 2**31 - 1
             self._per_term = (self.q - 1) ** 2
         elif self.signed:
@@ -114,38 +123,65 @@ class LazyAccumulator:
         defers the reduction itself.  With a Shoup reducer, pass
         ``b_shoup = reducer.precompute(b)`` once and reuse it across terms
         (Shoup's whole premise); it is computed on the fly when omitted.
+
+        The term is fully formed (including any on-the-fly Shoup
+        precompute, which can raise) *before* the bound is charged, so a
+        failed call leaves the tracker untouched.
         """
-        self._charge(self._per_term, "accumulating a product")
         if self.strategy == "raw":
-            prod = np.asarray(a).astype(np.int64) * (
+            term = np.asarray(a).astype(np.int64) * (
                 b.astype(np.int64)
                 if isinstance(b, np.ndarray)
                 else np.int64(b)
             )
-            self.acc += prod
         elif hasattr(self.reducer, "mulmod"):
-            self.acc += self.reducer.mulmod(np.asarray(a), b).astype(
+            term = self.reducer.mulmod(np.asarray(a), b).astype(
                 self.acc.dtype
             )
         else:  # Shoup multiplies by constants only; needs the companion
             w = int(b) if not isinstance(b, np.ndarray) else b
             if b_shoup is None:
                 b_shoup = self.reducer.precompute(w)
-            self.acc += self.reducer.mulmod_const(np.asarray(a), w, b_shoup)
+            term = self.reducer.mulmod_const(
+                np.asarray(a), w, b_shoup
+            ).astype(self.acc.dtype)
+        self._charge(self._per_term, "accumulating a product")
+        self.acc += term
         self.terms += 1
         return self
 
     def accumulate_value(
         self, v: np.ndarray, max_abs: int
     ) -> LazyAccumulator:
-        """Add pre-reduced values with caller-declared worst-case |v|."""
+        """Add pre-reduced values with caller-declared worst-case |v|.
+
+        Raises:
+            ParameterError: if ``v`` carries negative values while the
+                accumulator is unsigned — ``astype(uint64)`` would wrap
+                them into huge positive residues and corrupt the sum with
+                no error, so the sign is validated against the strategy
+                before anything is charged or added.
+        """
         if self.strategy == "raw":
             raise ParameterError(
                 "raw accumulators take products only; reduce-then-add "
                 "values belong to the 'reduced' strategy"
             )
+        v = np.asarray(v)
+        if (
+            not self.signed
+            and v.size
+            and v.dtype.kind != "u"
+            and int(v.min()) < 0
+        ):
+            raise ParameterError(
+                f"negative value {int(v.min())} cannot enter an unsigned "
+                "accumulator: the uint64 cast would wrap it silently; use "
+                "an SMR (signed) accumulator or fold the sign into a "
+                "canonical residue first"
+            )
         self._charge(max_abs, "accumulating a value")
-        self.acc += np.asarray(v).astype(self.acc.dtype)
+        self.acc += v.astype(self.acc.dtype)
         self.terms += 1
         return self
 
@@ -161,10 +197,13 @@ class LazyAccumulator:
         acc = self.acc
         if self.strategy == "raw":
             acc = self.reducer.reduce(acc)  # one Alg. 2 pass, into (-q, q)
+        # Per-row moduli for batched reducers; plain scalar otherwise.
         if self.signed:
+            q = align_rows(np.asarray(self.reducer.q, np.int64), acc.ndim)
             # int64 floor-mod folds negatives straight into [0, q).
-            return (acc % np.int64(self.q)).astype(np.uint64)
-        return acc % np.uint64(self.q)
+            return (acc % q).astype(np.uint64)
+        q = align_rows(np.asarray(self.reducer.q, np.uint64), acc.ndim)
+        return acc % q
 
     def reset(self) -> None:
         self.acc[...] = 0

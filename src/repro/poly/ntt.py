@@ -34,7 +34,24 @@ from repro.rns.reduction import (
     MontgomeryReducer,
     ShoupReducer,
     SignedMontgomeryReducer,
+    _parse_moduli,
+    align_rows,
 )
+
+
+def _range_error(a: np.ndarray, q) -> ParameterError:
+    """Error naming the first out-of-range coefficient and *its* modulus.
+
+    With per-limb moduli, ``a.max()`` can be a perfectly valid value from
+    a large-prime row while the violator hides in a small-prime row, so
+    the offending entry is located explicitly.
+    """
+    q_full = np.broadcast_to(np.asarray(q, dtype=np.uint64), a.shape)
+    idx = tuple(int(i[0]) for i in np.nonzero(a >= q_full))
+    return ParameterError(
+        f"coefficient {int(a[idx])} at index {idx} out of range "
+        f"[0, {int(q_full[idx])})"
+    )
 
 
 def bit_reverse_permutation(n: int) -> np.ndarray:
@@ -55,21 +72,29 @@ class _UnsignedBackend:
     Coefficients live as canonical residues [0, q) in uint64; every butterfly
     folds back to canonical so stage outputs are always valid stage inputs.
     Subclasses only decide how a coefficient-times-twiddle product is formed.
+
+    ``q`` is one prime (per-limb engine) or a sequence of L primes (batched:
+    the modulus becomes an ``(L, 1)`` column and every op transforms all
+    limbs of an ``(L, N)`` matrix in one vectorized pass).
     """
 
     name = "unsigned"
 
-    def __init__(self, q: int) -> None:
-        self.q_int = q
-        self.q = np.uint64(q)
+    def __init__(self, q) -> None:
+        qs, self.batched = _parse_moduli(q, "NTT backend")
+        self.q_ints = qs
+        if self.batched:
+            self.q = np.array(qs, dtype=np.uint64).reshape(-1, 1)
+        else:
+            self.q_int = qs[0]
+            self.q = np.uint64(qs[0])
 
     # -- domain conversion -------------------------------------------------
     def enter(self, a: np.ndarray) -> np.ndarray:
         a = np.asarray(a, dtype=np.uint64)
-        if a.size and int(a.max()) >= self.q_int:
-            raise ParameterError(
-                f"coefficient {int(a.max())} out of range [0, {self.q_int})"
-            )
+        q = align_rows(self.q, a.ndim)
+        if a.size and np.any(a >= q):
+            raise _range_error(a, q)
         return a.copy()
 
     def exit(self, a: np.ndarray) -> np.ndarray:
@@ -77,12 +102,14 @@ class _UnsignedBackend:
 
     # -- modular ring ops --------------------------------------------------
     def add(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        q = align_rows(self.q, x.ndim)
         s = x + y
-        return np.where(s >= self.q, s - self.q, s)
+        return np.where(s >= q, s - q, s)
 
     def sub(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
-        d = x + self.q - y
-        return np.where(d >= self.q, d - self.q, d)
+        q = align_rows(self.q, x.ndim)
+        d = x + q - y
+        return np.where(d >= q, d - q, d)
 
     # Subclasses: prepare_twiddles(tw) -> tuple of arrays; mul(x, parts).
 
@@ -90,7 +117,7 @@ class _UnsignedBackend:
 class _BarrettBackend(_UnsignedBackend):
     name = "barrett"
 
-    def __init__(self, q: int) -> None:
+    def __init__(self, q) -> None:
         super().__init__(q)
         self.red = BarrettReducer(q)
 
@@ -104,7 +131,7 @@ class _BarrettBackend(_UnsignedBackend):
 class _MontgomeryBackend(_UnsignedBackend):
     name = "montgomery"
 
-    def __init__(self, q: int) -> None:
+    def __init__(self, q) -> None:
         super().__init__(q)
         self.red = MontgomeryReducer(q)
 
@@ -120,7 +147,7 @@ class _MontgomeryBackend(_UnsignedBackend):
 class _ShoupBackend(_UnsignedBackend):
     name = "shoup"
 
-    def __init__(self, q: int) -> None:
+    def __init__(self, q) -> None:
         super().__init__(q)
         self.red = ShoupReducer(q)
 
@@ -144,31 +171,37 @@ class _SmrBackend:
 
     name = "smr"
 
-    def __init__(self, q: int) -> None:
-        self.q_int = q
-        self.q = np.int64(q)
+    def __init__(self, q) -> None:
+        qs, self.batched = _parse_moduli(q, "SMR backend")
+        self.q_ints = qs
+        if self.batched:
+            self.q = np.array(qs, dtype=np.int64).reshape(-1, 1)
+        else:
+            self.q_int = qs[0]
+            self.q = np.int64(qs[0])
         self.red = SignedMontgomeryReducer(q)
 
     def enter(self, a: np.ndarray) -> np.ndarray:
         a = np.asarray(a, dtype=np.uint64)
-        if a.size and int(a.max()) >= self.q_int:
-            raise ParameterError(
-                f"coefficient {int(a.max())} out of range [0, {self.q_int})"
-            )
+        bound = np.asarray(align_rows(self.q, a.ndim), dtype=np.uint64)
+        if a.size and np.any(a >= bound):
+            raise _range_error(a, bound)
         return a.astype(np.int64)
 
     def exit(self, a: np.ndarray) -> np.ndarray:
         return self.red.canonical(a)
 
     def add(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        q = align_rows(self.q, x.ndim)
         s = x + y
-        s = np.where(s >= self.q, s - self.q, s)
-        return np.where(s <= -self.q, s + self.q, s)
+        s = np.where(s >= q, s - q, s)
+        return np.where(s <= -q, s + q, s)
 
     def sub(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        q = align_rows(self.q, x.ndim)
         d = x - y
-        d = np.where(d >= self.q, d - self.q, d)
-        return np.where(d <= -self.q, d + self.q, d)
+        d = np.where(d >= q, d - q, d)
+        return np.where(d <= -q, d + q, d)
 
     def prepare_twiddles(self, tw: np.ndarray) -> tuple[np.ndarray, ...]:
         tw = np.asarray(tw, dtype=np.uint64)
@@ -187,8 +220,12 @@ _BACKENDS = {
 }
 
 
-def make_ntt_backend(method: str, q: int):
-    """Factory over the four per-prime butterfly backends (Table 3)."""
+def make_ntt_backend(method: str, q):
+    """Factory over the four butterfly backends (Table 3).
+
+    ``q`` is one prime (per-limb engine) or a sequence of L primes
+    (batched limb-matrix mode, see :class:`repro.poly.batch_ntt.BatchNTT`).
+    """
     try:
         return _BACKENDS[method](q)
     except KeyError:
@@ -294,20 +331,42 @@ class NegacyclicNTT:
         return b.exit(x)
 
     # -- NTT-domain arithmetic ---------------------------------------------
+    def prepare_operand(self, b_hat: np.ndarray) -> tuple[np.ndarray, ...]:
+        """Backend-prepared form of an NTT-domain operand, for reuse.
+
+        Shoup's companion is a full per-element division and the Montgomery
+        family pays an extra ``to_form`` pass; preparing once and passing
+        the handle to :meth:`pointwise_prepared` makes repeated products
+        against the same operand (key switching multiplies every limb by
+        the same key polynomial) pay that precompute exactly once.
+        """
+        if np.shape(b_hat) != (self.n,):
+            raise ParameterError(
+                f"expected a ({self.n},) vector, got {np.shape(b_hat)}"
+            )
+        return self.backend.prepare_twiddles(b_hat)
+
+    def pointwise_prepared(
+        self, a_hat: np.ndarray, prepared: tuple[np.ndarray, ...]
+    ) -> np.ndarray:
+        """Element-wise product against a :meth:`prepare_operand` handle."""
+        if np.shape(a_hat) != (self.n,):
+            raise ParameterError(
+                f"expected a ({self.n},) vector, got {np.shape(a_hat)}"
+            )
+        b = self.backend
+        return b.exit(b.mul(b.enter(a_hat), prepared))
+
     def pointwise(self, a_hat: np.ndarray, b_hat: np.ndarray) -> np.ndarray:
         """Element-wise product of two NTT-domain vectors, canonical [0, q).
 
         Both inputs must come from :meth:`forward` (same bit-reversed
         ordering); the ordering is consistent so no permutation is needed.
+        One-shot convenience over :meth:`prepare_operand` +
+        :meth:`pointwise_prepared`; amortize the precompute through those
+        when multiplying repeatedly by the same ``b_hat``.
         """
-        if np.shape(a_hat) != (self.n,) or np.shape(b_hat) != (self.n,):
-            raise ParameterError(
-                f"expected two ({self.n},) vectors, got "
-                f"{np.shape(a_hat)} and {np.shape(b_hat)}"
-            )
-        b = self.backend
-        x = b.enter(a_hat)
-        return b.exit(b.mul(x, b.prepare_twiddles(b_hat)))
+        return self.pointwise_prepared(a_hat, self.prepare_operand(b_hat))
 
     def negacyclic_multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """``a * b mod (x^N + 1, q)`` via forward / pointwise / inverse."""

@@ -8,10 +8,18 @@ independent slice of thread blocks.
 
 A :class:`PolyContext` pins the limb basis (ordered primes from a
 :class:`~repro.rns.primes.PrimePool`), the ring degree, and the reduction
-method, and caches one :class:`~repro.poly.ntt.NegacyclicNTT` engine per
-limb.  Rescaling (:meth:`RnsPolynomial.exact_rescale`) drops the last limb
-with the inverse-CRT correction, following the level schedule a
-:class:`~repro.rns.cycle.RescalingCycle` prescribes.
+method.  Hot paths — ``to_ntt`` / ``to_coeff`` / ``pointwise_multiply`` /
+``multiply`` / ``exact_rescale`` — run through the context's
+:class:`~repro.poly.batch_ntt.BatchNTT`, which transforms the whole limb
+matrix per stage instead of looping Python over per-prime engines; the
+per-limb :class:`~repro.poly.ntt.NegacyclicNTT` engines are kept as the
+reference implementation tests cross-check against.  Rescaling
+(:meth:`RnsPolynomial.exact_rescale`) drops the last limb with the
+inverse-CRT correction (its per-limb inverse table cached on the context),
+following the level schedule a :class:`~repro.rns.cycle.RescalingCycle`
+prescribes, and :meth:`RnsPolynomial.multiply_accumulate` fuses the §4.2
+key-switching inner product through a
+:class:`~repro.poly.lazy.LazyAccumulator`.
 """
 
 from __future__ import annotations
@@ -22,7 +30,9 @@ from functools import cached_property
 import numpy as np
 
 from repro.errors import LayoutError, LevelError, ParameterError
+from repro.poly.batch_ntt import BatchNTT
 from repro.poly.cost import CostModel
+from repro.poly.lazy import LazyAccumulator
 from repro.poly.ntt import NegacyclicNTT
 from repro.rns.primes import Prime, PrimePool
 
@@ -45,6 +55,7 @@ class PolyContext:
         method: str = "smr",
         *,
         _engines: list[NegacyclicNTT] | None = None,
+        _batch: BatchNTT | None = None,
     ) -> None:
         if not primes:
             raise ParameterError("a PolyContext needs at least one limb prime")
@@ -60,14 +71,45 @@ class PolyContext:
                 e.q != q for e, q in zip(_engines, self.primes)
             ):
                 raise ParameterError("engine list does not match limb primes")
-            self.ntts = list(_engines)
+            self._ntts: list[NegacyclicNTT] | None = list(_engines)
         else:
-            self.ntts = [
-                NegacyclicNTT(q, ring_degree, method) for q in self.primes
-            ]
+            # Built lazily (see :attr:`ntts`): the batched hot path never
+            # needs the per-prime reference engines.
+            self._ntts = None
+        if _batch is not None:
+            # Same reuse hook for the batched engine (drop_last slices rows).
+            if (
+                _batch.primes != self.primes
+                or _batch.n != ring_degree
+                or _batch.method != method
+            ):
+                raise ParameterError("batch engine does not match limb primes")
+            self.batch_ntt = _batch
+        else:
+            self.batch_ntt = BatchNTT(self.primes, ring_degree, method)
         #: column vector of limb moduli, broadcasts against (L, N) limb data
         self.moduli = np.array(self.primes, dtype=np.uint64).reshape(-1, 1)
         self._dropped: PolyContext | None = None
+        self._parent: PolyContext | None = None
+
+    @property
+    def ntts(self) -> list[NegacyclicNTT]:
+        """Per-limb reference engines, built on first use.
+
+        Pinned to the batched engine's roots so the reference and batched
+        paths are bit-identical by construction; a rescaled child borrows
+        its parent's engines (twiddle tables are immutable) so rescale
+        chains stay O(L) rather than O(L^2).
+        """
+        if self._ntts is None:
+            if self._parent is not None:
+                self._ntts = list(self._parent.ntts[: self.num_limbs])
+            else:
+                self._ntts = [
+                    NegacyclicNTT(q, self.ring_degree, self.method, psi=psi)
+                    for q, psi in zip(self.primes, self.batch_ntt.psis)
+                ]
+        return self._ntts
 
     @classmethod
     def from_pool(
@@ -107,13 +149,49 @@ class PolyContext:
         if self.num_limbs < 2:
             raise LevelError("cannot drop the last remaining limb")
         if self._dropped is None:
-            self._dropped = PolyContext(
+            child = PolyContext(
                 self.ring_degree,
                 self.primes[:-1],
                 self.method,
-                _engines=self.ntts[:-1],
+                _engines=None if self._ntts is None else self._ntts[:-1],
+                _batch=self.batch_ntt.take(self.num_limbs - 1),
             )
+            # Parent link lets the child borrow reference engines lazily.
+            child._parent = self
+            self._dropped = child
         return self._dropped
+
+    @cached_property
+    def _rescale_scratch(self) -> tuple[np.ndarray, np.ndarray]:
+        """Two persistent (L-1, N) work rows so ``exact_rescale`` runs its
+        whole chain through ``out=`` without allocating temporaries."""
+        shape = (self.num_limbs - 1, self.ring_degree)
+        return np.empty(shape, np.uint64), np.empty(shape, np.uint64)
+
+    @cached_property
+    def rescale_consts(self) -> tuple[np.ndarray, ...]:
+        """Cached ``(L-1, 1)`` constant columns for ``exact_rescale``.
+
+        Four per-surviving-limb tables — ``inv = q_last^-1 mod q_i`` with
+        its Shoup companion ``floor(inv * 2^32 / q_i)``, the 32-bit Barrett
+        constant ``floor(2^32 / q_i)``, and the fold correction
+        ``(q_i - q_last) mod q_i`` — so the per-call path is pure
+        division-free NumPy.  The modular inverses were previously
+        recomputed with ``pow(q_last, -1, q)`` inside the per-limb loop on
+        every call; caching lives here alongside :meth:`drop_last`.
+        """
+        if self.num_limbs < 2:
+            raise LevelError("rescale constants need at least two limbs")
+        q_last = self.primes[-1]
+        live = self.primes[:-1]
+        col = lambda vals: np.array(vals, dtype=np.uint64).reshape(-1, 1)  # noqa: E731
+        inv = [pow(q_last, -1, q) for q in live]
+        return (
+            col(inv),
+            col([(w << 32) // q for w, q in zip(inv, live)]),  # Shoup
+            col([(1 << 32) // q for q in live]),  # 32-bit Barrett mu
+            col([(q - q_last % q) % q for q in live]),  # -q_last mod q_i
+        )
 
     def compatible(self, other: PolyContext) -> bool:
         return (
@@ -155,9 +233,13 @@ class RnsPolynomial:
     ``limbs[i, j]`` is coefficient ``j`` mod ``ctx.primes[i]`` — in the
     coefficient domain when ``domain == "coeff"``, or NTT values (in the
     engine's bit-reversed ordering) when ``domain == "ntt"``.
+
+    Limbs are treated as immutable once constructed (every operation
+    returns a new polynomial); this is what lets an NTT-domain operand
+    cache its backend-prepared form for repeated pointwise products.
     """
 
-    __slots__ = ("ctx", "limbs", "domain")
+    __slots__ = ("ctx", "limbs", "domain", "_prepared")
 
     def __init__(
         self, ctx: PolyContext, limbs: np.ndarray, domain: str = COEFF
@@ -172,6 +254,7 @@ class RnsPolynomial:
         self.ctx = ctx
         self.limbs = limbs.astype(np.uint64, copy=False)
         self.domain = domain
+        self._prepared: tuple[np.ndarray, ...] | None = None
 
     @property
     def num_limbs(self) -> int:
@@ -215,30 +298,41 @@ class RnsPolynomial:
 
     # -- domain switches ---------------------------------------------------
     def to_ntt(self) -> RnsPolynomial:
+        """All limbs through the batched forward NTT in one stage-wise pass."""
         if self.domain == NTT:
             return self
-        out = np.empty_like(self.limbs)
-        for i, ntt in enumerate(self.ctx.ntts):
-            out[i] = ntt.forward(self.limbs[i])
+        out = self.ctx.batch_ntt.forward(self.limbs)
         return RnsPolynomial(self.ctx, out, NTT)
 
     def to_coeff(self) -> RnsPolynomial:
         if self.domain == COEFF:
             return self
-        out = np.empty_like(self.limbs)
-        for i, ntt in enumerate(self.ctx.ntts):
-            out[i] = ntt.inverse(self.limbs[i])
+        out = self.ctx.batch_ntt.inverse(self.limbs)
         return RnsPolynomial(self.ctx, out, COEFF)
 
     # -- multiplication ----------------------------------------------------
+    def prepared_operand(self) -> tuple[np.ndarray, ...]:
+        """This polynomial's backend-prepared form, computed once.
+
+        Shoup's companion is a per-element division and the Montgomery
+        family pays a ``to_form`` pass; the handle is cached on the
+        instance so every product against the same operand (the §4.2
+        key-switching shape) reuses it.
+        """
+        if self.domain != NTT:
+            raise LayoutError("prepared operands require the NTT domain")
+        if self._prepared is None:
+            self._prepared = self.ctx.batch_ntt.prepare_operand(self.limbs)
+        return self._prepared
+
     def pointwise_multiply(self, other: RnsPolynomial) -> RnsPolynomial:
         """Element-wise NTT-domain product; both operands must be in NTT."""
         self._check(other)
         if self.domain != NTT:
             raise LayoutError("pointwise multiply requires NTT-domain inputs")
-        out = np.empty_like(self.limbs)
-        for i, ntt in enumerate(self.ctx.ntts):
-            out[i] = ntt.pointwise(self.limbs[i], other.limbs[i])
+        out = self.ctx.batch_ntt.pointwise_prepared(
+            self.limbs, other.prepared_operand()
+        )
         return RnsPolynomial(self.ctx, out, NTT)
 
     def multiply(self, other: RnsPolynomial) -> RnsPolynomial:
@@ -257,6 +351,62 @@ class RnsPolynomial:
 
     def __mul__(self, other: RnsPolynomial) -> RnsPolynomial:
         return self.multiply(other)
+
+    @staticmethod
+    def multiply_accumulate(
+        a_polys: Sequence[RnsPolynomial],
+        b_polys: Sequence[RnsPolynomial],
+        *,
+        strategy: str = "reduced",
+    ) -> RnsPolynomial:
+        """Fused inner product ``sum_i a_i * b_i`` in the NTT domain (§4.2).
+
+        The key-switching shape: every output value is a dot product of
+        NTT-domain operands.  Each ``b_i`` is consumed through its cached
+        :meth:`prepared_operand`, every product lands in one
+        :class:`~repro.poly.lazy.LazyAccumulator` spanning the whole
+        ``(L, N)`` limb matrix, and a single fold at the end replaces the
+        per-term folds a naive multiply-then-add chain would pay.
+
+        ``strategy`` follows :class:`LazyAccumulator`: ``"reduced"``
+        (default, any backend, ~2^32 terms of headroom) reduces each
+        product and defers the folds; ``"raw"`` (SMR only) defers the
+        reductions themselves, bounded by Alg. 2's ``|sum| < q * 2^31``.
+        """
+        a_polys = list(a_polys)
+        b_polys = list(b_polys)
+        if not a_polys or len(a_polys) != len(b_polys):
+            raise ParameterError(
+                "multiply_accumulate needs equally many a and b "
+                f"polynomials (>= 1), got {len(a_polys)} and {len(b_polys)}"
+            )
+        ctx = a_polys[0].ctx
+        for poly in (*a_polys, *b_polys):
+            if not ctx.compatible(poly.ctx):
+                raise ParameterError(
+                    "multiply_accumulate operands come from incompatible "
+                    "contexts"
+                )
+            if poly.domain != NTT:
+                raise LayoutError(
+                    "multiply_accumulate requires NTT-domain operands"
+                )
+        batch = ctx.batch_ntt
+        signed = ctx.method == "smr"
+        shoup = ctx.method == "shoup"
+        acc = LazyAccumulator(
+            batch.backend.red,
+            (ctx.num_limbs, ctx.ring_degree),
+            strategy=strategy,
+        )
+        for a, b in zip(a_polys, b_polys):
+            parts = b.prepared_operand()
+            lanes = a.limbs.astype(np.int64) if signed else a.limbs
+            if shoup:
+                acc.accumulate_product(lanes, parts[0], b_shoup=parts[1])
+            else:
+                acc.accumulate_product(lanes, parts[0])
+        return RnsPolynomial(ctx, acc.fold(), NTT)
 
     # -- rescaling ---------------------------------------------------------
     def exact_rescale(self) -> RnsPolynomial:
@@ -282,14 +432,43 @@ class RnsPolynomial:
         last = self.limbs[-1].astype(np.int64)
         # Centered lift of the dropped limb: (-q_L/2, q_L/2].
         centered = np.where(last > q_last // 2, last - q_last, last)
-        out = np.empty((child.num_limbs, self.ctx.ring_degree), np.uint64)
-        for i, q in enumerate(child.primes):
-            r = centered % q  # numpy int64 % folds negatives into [0, q)
-            diff = self.limbs[i] + np.uint64(q) - r.astype(np.uint64)
-            diff = np.where(diff >= q, diff - np.uint64(q), diff)
-            inv = pow(q_last, -1, q)
-            # diff < q < 2^31 and inv < 2^31: the product fits uint64.
-            out[i] = diff * np.uint64(inv) % np.uint64(q)
+        q = self.ctx.moduli[:-1]  # (L-1, 1), broadcasts over every limb row
+        inv, inv_shoup, mu32, corr = self.ctx.rescale_consts
+        s1, s2 = self.ctx._rescale_scratch
+        shift = np.uint64(32)
+        # Division-free (L-1, N) chain through cached constants and
+        # persistent scratch (no temporaries); every fold is the
+        # branch-free uint64 min-trick — min(s, s - q) keeps s when the
+        # subtraction wraps.
+        # t0 = q_L - centered is a positive < 2^32 lift of -[c]_{q_L}
+        # shifted by q_L; reduce it per row via the cached 32-bit Barrett
+        # constant (approximation error < 3q, so two folds reach [0, q)).
+        t0 = (q_last - centered).astype(np.uint64)[None, :]
+        np.multiply(t0, mu32, out=s1)
+        np.right_shift(s1, shift, out=s1)
+        np.multiply(s1, q, out=s1)
+        np.subtract(t0, s1, out=s1)  # t0 mod q + < 3q of error
+        np.subtract(s1, q, out=s2)
+        np.minimum(s1, s2, out=s1)
+        np.subtract(s1, q, out=s2)
+        np.minimum(s1, s2, out=s1)  # canonical [0, q)
+        # Undo the +q_L shift (corr = -q_last mod q_i) and add the limb:
+        # diff = limbs - [c]_{q_L} mod q_i, canonical after one fold each.
+        np.add(s1, corr, out=s1)
+        np.subtract(s1, q, out=s2)
+        np.minimum(s1, s2, out=s1)
+        np.add(s1, self.limbs[:-1], out=s1)
+        np.subtract(s1, q, out=s2)
+        np.minimum(s1, s2, out=s1)
+        # Multiply by the cached q_last^-1 via its Shoup companion.
+        np.multiply(s1, inv_shoup, out=s2)
+        np.right_shift(s2, shift, out=s2)
+        np.multiply(s2, q, out=s2)  # hi * q
+        np.multiply(s1, inv, out=s1)
+        np.subtract(s1, s2, out=s1)
+        np.bitwise_and(s1, np.uint64(0xFFFFFFFF), out=s1)  # in [0, 2q)
+        np.subtract(s1, q, out=s2)
+        out = np.minimum(s1, s2)
         return RnsPolynomial(child, out, COEFF)
 
     # -- CRT reconstruction (reference/tests; Python-int arithmetic) -------

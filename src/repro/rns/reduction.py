@@ -45,6 +45,46 @@ def _signed_mullo32(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return (lo ^ np.int64(1 << 31)) - np.int64(1 << 31)  # sign-extend bit 31
 
 
+def _parse_moduli(q, label: str) -> tuple[list[int], bool]:
+    """Normalize a modulus spec into ``(values, batched)``.
+
+    A plain int is the classic single-prime mode.  A sequence / 1-D array /
+    ``(L, 1)`` column of primes selects *batched* mode: every reducer
+    constant becomes an ``(L, 1)`` column vector that broadcasts row-wise
+    against ``(L, N)`` limb-matrix data, so one vectorized pass reduces all
+    limbs at once (the paper's limb-parallel execution).
+    """
+    if isinstance(q, (int, np.integer)):
+        return [int(q)], False
+    arr = np.asarray(q)
+    if arr.ndim == 2 and arr.shape[1] == 1:
+        arr = arr[:, 0]
+    if arr.ndim != 1 or arr.size == 0:
+        raise ParameterError(
+            f"{label} moduli must be one int or a non-empty 1-D/(L, 1) "
+            f"sequence of ints, got shape {np.shape(q)}"
+        )
+    return [int(v) for v in arr], True
+
+
+def align_rows(c, ndim: int):
+    """Reshape an ``(L, 1)`` per-limb constant column to broadcast against
+    limb-major data of the given ndim.
+
+    NTT stages view the ``(L, N)`` limb matrix as ``(L, m, t)`` blocks;
+    a 2-D column does not broadcast against 3-D data under NumPy's
+    trailing-axis rules, so constants grow trailing singleton axes to
+    match.  Scalars and already-matching arrays pass through untouched.
+    """
+    if not isinstance(c, np.ndarray) or c.ndim < 2 or c.ndim == ndim:
+        return c
+    return c.reshape(c.shape[0], *([1] * (ndim - 1)))
+
+
+def _column(values: list[int], dtype) -> np.ndarray:
+    return np.array(values, dtype=dtype).reshape(-1, 1)
+
+
 @dataclass(frozen=True)
 class ReductionCost:
     """Instruction cost of one modular multiplication (Table 3).
@@ -84,13 +124,27 @@ class BarrettReducer:
 
     Precomputes mu = floor(2^64 / q).  reduce(x) returns x mod q in [0, 2q)
     (Table 3); ``reduce_strict`` folds into [0, q).
+
+    ``q`` may be one prime or a sequence of L primes; batched mode stores
+    ``q``/``mu`` as ``(L, 1)`` columns broadcasting against ``(L, N)``
+    limb-matrix data (one row per limb).
     """
 
-    def __init__(self, q: int) -> None:
-        if not (2 < q < 2**31):
-            raise ParameterError(f"Barrett modulus {q} out of 32-bit range")
-        self.q = np.uint64(q)
-        self.mu = (1 << 64) // q  # fits in 33 bits for q near 2^31
+    def __init__(self, q) -> None:
+        qs, self.batched = _parse_moduli(q, "Barrett")
+        for qi in qs:
+            if not (2 < qi < 2**31):
+                raise ParameterError(
+                    f"Barrett modulus {qi} out of 32-bit range"
+                )
+        self.q_ints = qs
+        if self.batched:
+            self.q = _column(qs, np.uint64)
+            # Each mu fits in 33 bits for q near 2^31, so uint64 carries it.
+            self.mu = _column([(1 << 64) // qi for qi in qs], np.uint64)
+        else:
+            self.q = np.uint64(qs[0])
+            self.mu = (1 << 64) // qs[0]  # fits in 33 bits for q near 2^31
 
     def mulmod(self, a: np.ndarray, b: np.ndarray | int) -> np.ndarray:
         """a * b mod q with result in [0, 2q) (Table 3).
@@ -101,20 +155,22 @@ class BarrettReducer:
         scalar or an array broadcastable against ``a``.
         """
         x = a.astype(np.uint64) * np.asarray(b, dtype=np.uint64)
+        q = align_rows(self.q, x.ndim)
         # q_hat = floor(x * mu / 2^64), computed via the high product.
         # NumPy lacks 128-bit ints; emulate with 32-bit halves as a GPU would.
         x_hi = x >> _SHIFT32
         x_lo = x & _U32
-        mu = np.uint64(self.mu)
+        mu = align_rows(np.asarray(self.mu, dtype=np.uint64), x.ndim)
         mu_hi = mu >> _SHIFT32
         mu_lo = mu & _U32
         mid = (x_lo * mu_hi + ((x_lo * mu_lo) >> _SHIFT32) + x_hi * mu_lo)
         q_hat = x_hi * mu_hi + (mid >> _SHIFT32)
-        r = x - q_hat * self.q
-        return np.where(r >= 2 * self.q, r - 2 * self.q, r)
+        r = x - q_hat * q
+        return np.where(r >= 2 * q, r - 2 * q, r)
 
     def reduce_strict(self, r: np.ndarray) -> np.ndarray:
-        return np.where(r >= self.q, r - self.q, r)
+        q = align_rows(self.q, np.ndim(r))
+        return np.where(r >= q, r - q, r)
 
 
 class MontgomeryReducer:
@@ -124,18 +180,28 @@ class MontgomeryReducer:
     convert into and out of the Montgomery representation x*2^32 mod q.
     """
 
-    def __init__(self, q: int) -> None:
-        if not (2 < q < 2**31) or q % 2 == 0:
-            raise ParameterError(f"Montgomery modulus {q} invalid")
-        self.q = np.uint64(q)
-        self.q_int = q
-        self.q_inv_neg = np.uint64((-pow(q, -1, 1 << 32)) % (1 << 32))
-        self.r2 = pow(1 << 32, 2, q)  # for to_form
+    def __init__(self, q) -> None:
+        qs, self.batched = _parse_moduli(q, "Montgomery")
+        for qi in qs:
+            if not (2 < qi < 2**31) or qi % 2 == 0:
+                raise ParameterError(f"Montgomery modulus {qi} invalid")
+        self.q_ints = qs
+        inv_neg = [(-pow(qi, -1, 1 << 32)) % (1 << 32) for qi in qs]
+        r2 = [pow(1 << 32, 2, qi) for qi in qs]  # for to_form
+        if self.batched:
+            self.q = _column(qs, np.uint64)
+            self.q_inv_neg = _column(inv_neg, np.uint64)
+            self.r2 = _column(r2, np.uint64)
+        else:
+            self.q = np.uint64(qs[0])
+            self.q_int = qs[0]
+            self.q_inv_neg = np.uint64(inv_neg[0])
+            self.r2 = r2[0]
 
     def reduce(self, x: np.ndarray) -> np.ndarray:
         """x in [0, q*2^32) -> x*2^-32 mod q, result in [0, 2q)."""
-        m = mullo32(x & _U32, self.q_inv_neg)
-        t = (x + m * self.q) >> _SHIFT32
+        m = mullo32(x & _U32, align_rows(self.q_inv_neg, np.ndim(x)))
+        t = (x + m * align_rows(self.q, np.ndim(x))) >> _SHIFT32
         return t
 
     def mulmod(self, a: np.ndarray, b: np.ndarray | int) -> np.ndarray:
@@ -151,13 +217,15 @@ class MontgomeryReducer:
         return self.reduce(a.astype(np.uint64) * np.asarray(b, dtype=np.uint64))
 
     def to_form(self, a: np.ndarray) -> np.ndarray:
-        return self.reduce_strict(self.mulmod(a.astype(np.uint64), self.r2))
+        a = a.astype(np.uint64)
+        return self.reduce_strict(self.mulmod(a, align_rows(self.r2, a.ndim)))
 
     def from_form(self, a: np.ndarray) -> np.ndarray:
         return self.reduce_strict(self.reduce(a.astype(np.uint64)))
 
     def reduce_strict(self, r: np.ndarray) -> np.ndarray:
-        return np.where(r >= self.q, r - self.q, r)
+        q = align_rows(self.q, np.ndim(r))
+        return np.where(r >= q, r - q, r)
 
 
 class ShoupReducer:
@@ -168,20 +236,45 @@ class ShoupReducer:
     needs its own precomputed companion (extra memory traffic).
     """
 
-    def __init__(self, q: int) -> None:
-        if not (2 < q < 2**31):
-            raise ParameterError(f"Shoup modulus {q} out of range")
-        self.q = np.uint64(q)
-        self.q_int = q
+    def __init__(self, q) -> None:
+        qs, self.batched = _parse_moduli(q, "Shoup")
+        for qi in qs:
+            if not (2 < qi < 2**31):
+                raise ParameterError(f"Shoup modulus {qi} out of range")
+        self.q_ints = qs
+        if self.batched:
+            self.q = _column(qs, np.uint64)
+        else:
+            self.q = np.uint64(qs[0])
+            self.q_int = qs[0]
 
     def precompute(self, w: int | np.ndarray) -> int | np.ndarray:
         """Companion constant(s) w' = floor(w * 2^32 / q) for w in [0, q).
+
+        In batched mode ``w`` broadcasts row-wise against the ``(L, 1)``
+        modulus column (a scalar, an ``(L, 1)`` column, or a full ``(L, N)``
+        matrix of per-limb constants), and the range check applies per row.
 
         Raises:
             ParameterError: if any ``w >= q`` (or ``w < 0``).  For such w
                 the companion exceeds 32 bits and ``mulmod_const`` would
                 silently truncate it, producing wrong residues.
         """
+        if self.batched:
+            w_arr = np.asarray(w)
+            if w_arr.size and w_arr.dtype.kind != "u" and int(w_arr.min()) < 0:
+                raise ParameterError(
+                    f"Shoup constant out of range: min={int(w_arr.min())} < 0"
+                )
+            w_u = w_arr.astype(np.uint64)
+            q = align_rows(self.q, max(w_u.ndim, 2))
+            if w_u.size and np.any(w_u >= q):
+                raise ParameterError(
+                    f"Shoup constant out of per-limb range [0, q): "
+                    f"max={int(w_u.max())} vs min modulus {min(self.q_ints)}"
+                )
+            # w < q < 2^31, so w << 32 < 2^63 stays inside uint64.
+            return (w_u << _SHIFT32) // q
         if isinstance(w, np.ndarray):
             if w.size and (int(w.min()) < 0 or int(w.max()) >= self.q_int):
                 raise ParameterError(
@@ -215,11 +308,13 @@ class ShoupReducer:
         w = np.asarray(w, dtype=np.uint64)
         w_shoup = np.asarray(w_shoup, dtype=np.uint64)
         hi = mulhi32(a.astype(np.uint64), w_shoup)
-        r = (a.astype(np.uint64) * w - hi * self.q) & _U32
+        q = align_rows(self.q, a.ndim)
+        r = (a.astype(np.uint64) * w - hi * q) & _U32
         return r
 
     def reduce_strict(self, r: np.ndarray) -> np.ndarray:
-        return np.where(r >= self.q, r - self.q, r)
+        q = align_rows(self.q, np.ndim(r))
+        return np.where(r >= q, r - q, r)
 
 
 class SignedMontgomeryReducer:
@@ -234,25 +329,41 @@ class SignedMontgomeryReducer:
     *signed* 32-bit value, matching Alg. 2's requirement m in [-2^31, 2^31).
     """
 
-    def __init__(self, q: int) -> None:
-        if not (2 < q < 2**31) or q % 2 == 0:
-            raise ParameterError(f"SMR modulus {q} invalid")
-        self.q_int = q
-        self.q = np.int64(q)
-        m = pow(q, -1, 1 << 32)
-        if m >= 1 << 31:  # reinterpret as signed 32-bit
-            m -= 1 << 32
-        self.m = np.int64(m)
-        self.r2 = pow(1 << 32, 2, q)  # 2^64 mod q, for to_form
-        self.r1 = pow(1 << 32, 1, q)  # 2^32 mod q
+    def __init__(self, q) -> None:
+        qs, self.batched = _parse_moduli(q, "SMR")
+        for qi in qs:
+            if not (2 < qi < 2**31) or qi % 2 == 0:
+                raise ParameterError(f"SMR modulus {qi} invalid")
+        self.q_ints = qs
+        ms = []
+        for qi in qs:
+            m = pow(qi, -1, 1 << 32)
+            if m >= 1 << 31:  # reinterpret as signed 32-bit
+                m -= 1 << 32
+            ms.append(m)
+        r2 = [pow(1 << 32, 2, qi) for qi in qs]  # 2^64 mod q, for to_form
+        r1 = [pow(1 << 32, 1, qi) for qi in qs]  # 2^32 mod q
+        if self.batched:
+            self.q = _column(qs, np.int64)
+            self.m = _column(ms, np.int64)
+            self.r2 = _column(r2, np.int64)
+            self.r1 = _column(r1, np.int64)
+        else:
+            self.q_int = qs[0]
+            self.q = np.int64(qs[0])
+            self.m = np.int64(ms[0])
+            self.r2 = r2[0]
+            self.r1 = r1[0]
 
     def reduce(self, x: np.ndarray) -> np.ndarray:
         """Alg. 2: x (int64, |x| < q*2^31) -> x*2^-32 mod q in (-q, q)."""
         x = x.astype(np.int64, copy=False)
         x_hi = x >> np.int64(32)  # line 1 (bit extraction, arithmetic shift)
         x_lo = x & np.int64(0xFFFFFFFF)  # unsigned low half
-        z = _signed_mullo32(x_lo, np.broadcast_to(self.m, x_lo.shape))  # l.2
-        z = _signed_mulhi32(z, np.broadcast_to(self.q, z.shape))  # line 3
+        m = np.broadcast_to(align_rows(self.m, x.ndim), x_lo.shape)
+        z = _signed_mullo32(x_lo, m)  # line 2
+        q = np.broadcast_to(align_rows(self.q, x.ndim), z.shape)
+        z = _signed_mulhi32(z, q)  # line 3
         return x_hi - z  # line 4
 
     def mulmod(self, a: np.ndarray, b: np.ndarray | int) -> np.ndarray:
@@ -271,7 +382,9 @@ class SignedMontgomeryReducer:
 
     def to_form(self, a: np.ndarray) -> np.ndarray:
         """Lift canonical residues [0, q) into Montgomery form (-q, q)."""
-        return self.reduce(a.astype(np.int64) * np.int64(self.r2))
+        a = a.astype(np.int64)
+        r2 = align_rows(np.asarray(self.r2, dtype=np.int64), a.ndim)
+        return self.reduce(a * r2)
 
     def from_form(self, a: np.ndarray) -> np.ndarray:
         """Drop the 2^32 factor: Montgomery form -> canonical [0, q)."""
@@ -280,16 +393,23 @@ class SignedMontgomeryReducer:
     def canonical(self, a: np.ndarray) -> np.ndarray:
         """Fold signed representatives (-q, q) into canonical [0, q)."""
         a = a.astype(np.int64, copy=False)
-        return np.where(a < 0, a + self.q, a).astype(np.uint64)
+        q = align_rows(self.q, a.ndim)
+        return np.where(a < 0, a + q, a).astype(np.uint64)
 
     def center(self, a: np.ndarray) -> np.ndarray:
         """Fold canonical residues [0, q) into centered (-q/2, q/2]."""
         a = a.astype(np.int64, copy=False)
-        return np.where(a > self.q // 2, a - self.q, a)
+        q = align_rows(self.q, a.ndim)
+        return np.where(a > q // 2, a - q, a)
 
 
-def make_reducer(method: str, q: int):
-    """Factory over the four reduction methods of Table 3."""
+def make_reducer(method: str, q):
+    """Factory over the four reduction methods of Table 3.
+
+    ``q`` is one prime (classic scalar mode) or a sequence of L primes
+    (batched mode: constants become ``(L, 1)`` columns broadcasting
+    row-wise against ``(L, N)`` limb-matrix data).
+    """
     if method == "barrett":
         return BarrettReducer(q)
     if method == "montgomery":

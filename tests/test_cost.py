@@ -104,3 +104,36 @@ def test_scaled_opcost():
     assert twice.name == "double-ntt"
     assert twice.modmuls == 2 * op.modmuls
     assert twice.int32_instrs == 2 * op.int32_instrs
+
+
+def test_multiply_accumulate_pricing():
+    from repro.poly.cost import RAW64_INSTRS
+
+    model = CostModel(64, 3, "smr")
+    lanes = 64 * 3
+    k = 8
+    reduced = model.multiply_accumulate(k)
+    assert reduced.modmuls == (k + 1) * lanes  # products + terminal fold
+    assert reduced.raw_adds64 == k * lanes  # deferred folds ride raw adds
+    raw = model.multiply_accumulate(k, strategy="raw")
+    assert raw.modmuls == lanes  # one deferred reduce per lane
+    assert raw.raw_muls64 == k * lanes and raw.raw_adds64 == k * lanes
+    # §4.2's point: deferring the reductions beats reducing every term.
+    assert raw.int32_instrs < reduced.int32_instrs
+    per_mul = REDUCTION_COSTS["smr"].total_instrs
+    assert reduced.int32_instrs == (
+        reduced.modmuls * per_mul + k * lanes * RAW64_INSTRS
+    )
+    # raw needs SMR; bad inputs refused.
+    with pytest.raises(ParameterError):
+        CostModel(64, 3, "shoup").multiply_accumulate(2, strategy="raw")
+    with pytest.raises(ParameterError):
+        model.multiply_accumulate(0)
+    with pytest.raises(ParameterError):
+        model.multiply_accumulate(2, strategy="eager")
+    # scaled() carries the raw 64-bit fields along.
+    twice = raw.scaled(2)
+    assert twice.raw_muls64 == 2 * raw.raw_muls64
+    assert twice.int32_instrs == 2 * raw.int32_instrs
+    # The rendered table includes the fused op.
+    assert "multiply_accumulate" in model.table()

@@ -108,6 +108,61 @@ def test_accumulate_value_and_reset(rng):
     assert np.array_equal(acc.fold(), np.zeros(4, dtype=np.uint64))
 
 
+def test_negative_value_into_unsigned_accumulator_raises(rng):
+    """astype(uint64) on a negative would wrap silently; must refuse."""
+    red = make_reducer("barrett", Q_MAIN)
+    acc = LazyAccumulator(red, 4)
+    v = np.array([1, -2, 3, 4], dtype=np.int64)
+    bound_before = acc.bound
+    with pytest.raises(ParameterError):
+        acc.accumulate_value(v, max_abs=4)
+    # The refusal must not charge the bound tracker or touch the sum.
+    assert acc.bound == bound_before and acc.terms == 0
+    assert np.array_equal(acc.fold(), np.zeros(4, dtype=np.uint64))
+    # Non-negative signed input is fine; unsigned input is fine.
+    acc.accumulate_value(np.abs(v), max_abs=4)
+    acc.accumulate_value(np.abs(v).astype(np.uint64), max_abs=4)
+    assert np.array_equal(acc.fold(), 2 * np.abs(v).astype(np.uint64))
+    # Signed accumulators keep accepting negatives (that is their point).
+    signed = LazyAccumulator(make_reducer("smr", Q_MAIN), 4)
+    signed.accumulate_value(v, max_abs=4)
+    assert np.array_equal(signed.fold(), (v % Q_MAIN).astype(np.uint64))
+
+
+def test_shoup_accumulation_casts_to_acc_dtype(rng):
+    red = make_reducer("shoup", Q_MAIN)
+    acc = LazyAccumulator(red, LANES)
+    a = rng.integers(0, Q_MAIN, LANES, dtype=np.uint64)
+    acc.accumulate_product(a, 7)
+    assert acc.acc.dtype == np.uint64
+
+
+def test_batched_reducer_accumulator(rng):
+    """One LazyAccumulator spanning an (L, N) limb matrix (§4.2 batched)."""
+    qs = [Q_TERMINAL, Q_MAIN]
+    red = make_reducer("barrett", qs)
+    k = 8
+    av = [
+        np.stack([rng.integers(0, q, LANES, dtype=np.uint64) for q in qs])
+        for _ in range(k)
+    ]
+    bv = [
+        np.stack([rng.integers(0, q, LANES, dtype=np.uint64) for q in qs])
+        for _ in range(k)
+    ]
+    acc = LazyAccumulator(red, (len(qs), LANES))
+    for a, b in zip(av, bv):
+        acc.accumulate_product(a, b)
+    got = acc.fold()
+    for i, q in enumerate(qs):
+        expect = _dot_reference(
+            np.stack([a[i] for a in av]), np.stack([b[i] for b in bv]), q
+        )
+        assert np.array_equal(got[i], expect)
+    # Worst-case bound tracking follows the largest limb.
+    assert acc.q == max(qs)
+
+
 def test_strategy_validation():
     red = make_reducer("barrett", Q_TERMINAL)
     with pytest.raises(ParameterError):

@@ -64,6 +64,26 @@ def test_pointwise_is_commutative_and_canonical(fresh_pool, method, rng):
     assert int(ab.max()) < prime.value
 
 
+@pytest.mark.parametrize("method", METHODS)
+def test_prepared_operand_path_matches_pointwise(fresh_pool, method, rng):
+    """prepare_operand + pointwise_prepared must equal one-shot pointwise,
+    and reusing the handle must not change results (the per-call
+    precompute this path amortizes: Shoup companions / to_form passes)."""
+    n = fresh_pool.ring_degree
+    prime = fresh_pool.main[0]
+    ntt = NegacyclicNTT(prime, n, method)
+    a_hat = ntt.forward(rng.integers(0, prime.value, n, dtype=np.uint64))
+    b_hat = ntt.forward(rng.integers(0, prime.value, n, dtype=np.uint64))
+    expect = ntt.pointwise(a_hat, b_hat)
+    prepared = ntt.prepare_operand(b_hat)
+    for _ in range(3):
+        assert np.array_equal(ntt.pointwise_prepared(a_hat, prepared), expect)
+    with pytest.raises(ParameterError):
+        ntt.prepare_operand(b_hat[:1])
+    with pytest.raises(ParameterError):
+        ntt.pointwise_prepared(a_hat[:1], prepared)
+
+
 def test_backends_agree(fresh_pool, rng):
     """All four backends compute the identical transform bit-for-bit."""
     n = fresh_pool.ring_degree

@@ -166,3 +166,96 @@ def test_cost_table_claims():
 def test_make_reducer_rejects_unknown():
     with pytest.raises(ParameterError):
         make_reducer("lookup-table", 97)
+
+
+# -- batched (per-row modulus column) mode ---------------------------------
+
+
+def _batched_operands(rng):
+    a = np.stack(
+        [rng.integers(0, q, SIZE, dtype=np.uint64) for q in MODULI]
+    )
+    b = np.stack(
+        [rng.integers(0, q, SIZE, dtype=np.uint64) for q in MODULI]
+    )
+    expect = np.stack(
+        [
+            ((a[i].astype(object) * b[i].astype(object)) % q).astype(
+                np.uint64
+            )
+            for i, q in enumerate(MODULI)
+        ]
+    )
+    return a, b, expect
+
+
+@pytest.mark.parametrize("method", ("barrett", "montgomery", "shoup", "smr"))
+def test_batched_reducers_match_per_row_scalars(method, rng):
+    """(L, 1) modulus columns must reproduce L scalar reducers row by row."""
+    a, b, expect = _batched_operands(rng)
+    red = make_reducer(method, MODULI)
+    assert red.batched and red.q_ints == MODULI
+    if method == "barrett":
+        got = red.reduce_strict(red.mulmod(a, b))
+    elif method == "montgomery":
+        got = red.reduce_strict(red.mulmod(red.to_form(a), b))
+    elif method == "shoup":
+        got = red.reduce_strict(red.mulmod_const(a, b, red.precompute(b)))
+    else:
+        got = red.canonical(red.mulmod(a.astype(np.int64), red.to_form(b)))
+    assert np.array_equal(got, expect)
+
+
+def test_batched_reducers_broadcast_3d_stage_views(rng):
+    """NTT stages view (L, N) as (L, m, t): constants must align per row."""
+    a, b, expect = _batched_operands(rng)
+    shape3 = (len(MODULI), 64, SIZE // 64)
+    red = make_reducer("barrett", MODULI)
+    got = red.reduce_strict(red.mulmod(a.reshape(shape3), b.reshape(shape3)))
+    assert np.array_equal(got.reshape(a.shape), expect)
+    smr = make_reducer("smr", MODULI)
+    got = smr.canonical(
+        smr.mulmod(
+            a.reshape(shape3).astype(np.int64),
+            smr.to_form(b).reshape(shape3),
+        )
+    )
+    assert np.array_equal(got.reshape(a.shape), expect)
+
+
+def test_batched_shoup_range_checks_per_row(rng):
+    red = make_reducer("shoup", MODULI)
+    # The smallest modulus binds: a constant valid for row 2 must be
+    # rejected when it lands on row 0.
+    bad = np.full((len(MODULI), 1), MODULI[0], dtype=np.uint64)
+    with pytest.raises(ParameterError):
+        red.precompute(bad)
+    with pytest.raises(ParameterError):
+        red.precompute(np.full((len(MODULI), 1), -1, dtype=np.int64))
+    # Scalar constants broadcast down every row.
+    w = MODULI[0] - 1
+    comp = red.precompute(w)
+    assert comp.shape == (len(MODULI), 1)
+    a = np.stack(
+        [rng.integers(0, q, SIZE, dtype=np.uint64) for q in MODULI]
+    )
+    got = red.reduce_strict(red.mulmod_const(a, w, comp))
+    expect = np.stack(
+        [
+            ((a[i].astype(object) * w) % q).astype(np.uint64)
+            for i, q in enumerate(MODULI)
+        ]
+    )
+    assert np.array_equal(got, expect)
+
+
+def test_batched_moduli_validation():
+    with pytest.raises(ParameterError):
+        make_reducer("barrett", [])
+    with pytest.raises(ParameterError):
+        make_reducer("barrett", [MODULI[0], 2**31 + 1])
+    with pytest.raises(ParameterError):
+        make_reducer("montgomery", [MODULI[0], 10])  # even modulus
+    # (L, 1) columns are accepted as moduli specs too.
+    col = np.array(MODULI, dtype=np.uint64).reshape(-1, 1)
+    assert make_reducer("smr", col).q_ints == MODULI

@@ -155,3 +155,127 @@ def test_drop_last_is_cached(ctx):
     # instead of rebuilding them (rescale chains would be O(L^2) otherwise).
     for child_ntt, parent_ntt in zip(ctx.drop_last().ntts, ctx.ntts):
         assert child_ntt is parent_ntt
+    # The batched engine is shared the same way (sliced, same roots).
+    assert ctx.drop_last().batch_ntt.psis == ctx.batch_ntt.psis[:-1]
+
+
+# -- batched pipeline vs per-prime reference engines -----------------------
+
+
+@pytest.mark.parametrize("method", ("barrett", "montgomery", "shoup", "smr"))
+def test_transforms_bit_match_reference_engines(ctx, method, rng):
+    """to_ntt / to_coeff / pointwise_multiply run batched but must equal a
+    Python loop over the per-prime reference engines, bit for bit."""
+    mctx = PolyContext(ctx.ring_degree, ctx.primes, method)
+    a, b = mctx.random(rng), mctx.random(rng)
+    ref_fwd = np.stack(
+        [ntt.forward(a.limbs[i]) for i, ntt in enumerate(mctx.ntts)]
+    )
+    a_hat = a.to_ntt()
+    assert np.array_equal(a_hat.limbs, ref_fwd)
+    assert np.array_equal(a_hat.to_coeff().limbs, a.limbs)
+    b_hat = b.to_ntt()
+    ref_pw = np.stack(
+        [
+            ntt.pointwise(a_hat.limbs[i], b_hat.limbs[i])
+            for i, ntt in enumerate(mctx.ntts)
+        ]
+    )
+    assert np.array_equal(a_hat.pointwise_multiply(b_hat).limbs, ref_pw)
+
+
+def test_rescale_unchanged_after_caching(ctx, rng):
+    """The cached-constant, division-free rescale must reproduce the
+    original per-limb pow()-per-call loop exactly."""
+    for _ in range(10):
+        a = ctx.random(rng)
+        q_last = ctx.primes[-1]
+        last = a.limbs[-1].astype(np.int64)
+        centered = np.where(last > q_last // 2, last - q_last, last)
+        ref = np.empty((ctx.num_limbs - 1, ctx.ring_degree), np.uint64)
+        for i, q in enumerate(ctx.primes[:-1]):
+            r = centered % q
+            diff = a.limbs[i] + np.uint64(q) - r.astype(np.uint64)
+            diff = np.where(diff >= q, diff - np.uint64(q), diff)
+            inv = pow(q_last, -1, q)
+            ref[i] = diff * np.uint64(inv) % np.uint64(q)
+        assert np.array_equal(a.exact_rescale().limbs, ref)
+
+
+def test_rescale_consts_cached_on_context(ctx):
+    consts = ctx.rescale_consts
+    assert consts is ctx.rescale_consts  # cached_property
+    inv, inv_shoup, mu32, corr = consts
+    q_last = ctx.primes[-1]
+    for i, q in enumerate(ctx.primes[:-1]):
+        assert int(inv[i, 0]) == pow(q_last, -1, q)
+        assert int(inv_shoup[i, 0]) == (pow(q_last, -1, q) << 32) // q
+        assert int(mu32[i, 0]) == (1 << 32) // q
+        assert int(corr[i, 0]) == (-q_last) % q
+
+
+def test_prepared_operand_is_cached_and_requires_ntt(ctx, rng):
+    a, b = ctx.random(rng), ctx.random(rng)
+    with pytest.raises(LayoutError):
+        b.prepared_operand()  # coefficient domain
+    b_hat = b.to_ntt()
+    handle = b_hat.prepared_operand()
+    assert b_hat.prepared_operand() is handle  # paid once, reused
+    # pointwise_multiply goes through the same cached handle.
+    a_hat = a.to_ntt()
+    first = a_hat.pointwise_multiply(b_hat)
+    assert b_hat.prepared_operand() is handle
+    assert np.array_equal(
+        a_hat.pointwise_multiply(b_hat).limbs, first.limbs
+    )
+
+
+# -- multiply_accumulate (§4.2 key-switching shape) ------------------------
+
+
+@pytest.mark.parametrize("method", ("barrett", "montgomery", "shoup", "smr"))
+def test_multiply_accumulate_matches_naive_chain(ctx, method, rng):
+    from repro.poly.rns_poly import RnsPolynomial
+
+    mctx = PolyContext(ctx.ring_degree, ctx.primes, method)
+    k = 6
+    a = [mctx.random(rng).to_ntt() for _ in range(k)]
+    b = [mctx.random(rng).to_ntt() for _ in range(k)]
+    ref = a[0].pointwise_multiply(b[0])
+    for i in range(1, k):
+        ref = ref + a[i].pointwise_multiply(b[i])
+    got = RnsPolynomial.multiply_accumulate(a, b)
+    assert got.domain == NTT
+    assert np.array_equal(got.limbs, ref.limbs)
+
+
+def test_multiply_accumulate_raw_strategy(rng):
+    """SMR's deferred-reduction strategy on terminal-sized limbs."""
+    from repro.poly.rns_poly import RnsPolynomial
+    from repro.rns.primes import ntt_friendly_primes as gen
+
+    primes = [p.value for p in gen(25, 3, N)]
+    sctx = PolyContext(N, primes, "smr")
+    k = 8
+    a = [sctx.random(rng).to_ntt() for _ in range(k)]
+    b = [sctx.random(rng).to_ntt() for _ in range(k)]
+    ref = a[0].pointwise_multiply(b[0])
+    for i in range(1, k):
+        ref = ref + a[i].pointwise_multiply(b[i])
+    got = RnsPolynomial.multiply_accumulate(a, b, strategy="raw")
+    assert np.array_equal(got.limbs, ref.limbs)
+
+
+def test_multiply_accumulate_validation(ctx, rng):
+    from repro.poly.rns_poly import RnsPolynomial
+
+    a, b = ctx.random(rng).to_ntt(), ctx.random(rng).to_ntt()
+    with pytest.raises(ParameterError):
+        RnsPolynomial.multiply_accumulate([], [])
+    with pytest.raises(ParameterError):
+        RnsPolynomial.multiply_accumulate([a], [b, b])
+    with pytest.raises(LayoutError):
+        RnsPolynomial.multiply_accumulate([a], [ctx.random(rng)])  # coeff
+    other = PolyContext(ctx.ring_degree, ctx.primes, "shoup")
+    with pytest.raises(ParameterError):
+        RnsPolynomial.multiply_accumulate([a], [other.random(rng).to_ntt()])
