@@ -1,27 +1,35 @@
 #!/usr/bin/env python
 """Benchmark harness: batched limb-matrix vs per-prime looped hot paths.
 
-Times the three polynomial-layer hot paths the paper's limb-parallel
-pitch lives or dies on — forward NTT, full negacyclic multiply, and exact
-rescale — in two implementations each:
+Times the polynomial-layer hot paths the paper's limb-parallel pitch
+lives or dies on — forward NTT, full negacyclic multiply, exact rescale,
+and (since PR 3) fast basis conversion (ModUp / ModDown) and the fused
+hybrid key switch — in two implementations each:
 
 * ``batched``: the :class:`~repro.poly.batch_ntt.BatchNTT` /
-  vectorized-rescale pipeline ``RnsPolynomial`` runs in production, one
-  NumPy pass per stage over the whole ``(L, N)`` limb matrix;
-* ``looped``: the per-prime reference path — a Python loop over
-  per-limb :class:`~repro.poly.ntt.NegacyclicNTT` engines (and, for
-  rescale, the pre-caching per-limb loop that recomputed
-  ``pow(q_last, -1, q)`` on every call).
+  :class:`~repro.poly.basis_conv.BasisConverter` pipeline
+  ``RnsPolynomial`` runs in production: one vectorized NumPy pass per
+  stage over the whole limb matrix, every per-prime constant
+  precomputed and cached;
+* ``looped``: the per-prime reference path — Python loops over per-limb
+  :class:`~repro.poly.ntt.NegacyclicNTT` engines and per-(i, j)
+  conversion rows, with the per-call constant recomputes the cached
+  pipeline eliminated.
 
-Every cell is cross-checked for bit-equality before it is timed, the
-grid spans ``N in {1024, 4096} x L in {4, 12}`` across all four Table-3
-reducer backends, and the results land in ``BENCH_poly.json`` at the
-repository root (the start of the perf trajectory the ROADMAP asks for).
+Every cell is cross-checked for bit-equality before it is timed (the
+conversion cells additionally against an exact big-int CRT reference),
+the grid spans ``N in {1024, 4096} x L in {4, 12}`` across all four
+Table-3 reducer backends, and the results land in ``BENCH_poly.json``
+at the repository root.  Cells record best-of and median-of-repeats
+times; ``--baseline`` re-runs the grid and exits non-zero when any
+previously-recorded cell's batched median regresses by more than 25%.
 
 Usage:
-    python benchmarks/bench_poly.py            # full grid, ~a minute
-    python benchmarks/bench_poly.py --smoke    # tiny grid for CI
-    python benchmarks/bench_poly.py --out PATH # write elsewhere
+    python benchmarks/bench_poly.py                       # full grid
+    python benchmarks/bench_poly.py --smoke               # tiny CI grid
+    python benchmarks/bench_poly.py --out PATH            # write elsewhere
+    python benchmarks/bench_poly.py --baseline BENCH_poly.json
+                                                          # regression gate
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import statistics
 import sys
 import time
 from pathlib import Path
@@ -38,12 +47,17 @@ sys.path.insert(0, str(_REPO_ROOT / "src"))
 
 import numpy as np  # noqa: E402
 
-from repro.poly.rns_poly import PolyContext  # noqa: E402
-from repro.rns.primes import ntt_friendly_primes  # noqa: E402
+from repro.poly.basis_conv import KeySwitchKey  # noqa: E402
+from repro.poly.rns_poly import PolyContext, RnsPolynomial  # noqa: E402
+from repro.rns.primes import digit_ranges, ntt_friendly_primes  # noqa: E402
 
 METHODS = ("barrett", "montgomery", "shoup", "smr")
 FULL_GRID = [(1024, 4), (1024, 12), (4096, 4), (4096, 12)]
 SMOKE_GRID = [(256, 4)]
+
+#: regression gate for --baseline mode: any previously-recorded cell
+#: whose batched median slows down by more than this factor fails the run
+REGRESSION_THRESHOLD = 0.25
 
 
 def _limbs_for(n: int, num_limbs: int) -> list[int]:
@@ -56,15 +70,43 @@ def _limbs_for(n: int, num_limbs: int) -> list[int]:
     return [p.value for p in terminal + main]
 
 
-def _time(fn, repeats: int) -> float:
-    """Best-of-``repeats`` wall time — the least-noise estimator for
-    short, deterministic kernels."""
-    best = float("inf")
+def _aux_for(primes: list[int], n: int, dnum: int) -> list[int]:
+    """Auxiliary P-part primes covering the largest key-switch digit."""
+    max_digit = 1
+    for lo, hi in digit_ranges(len(primes), dnum):
+        prod = 1
+        for q in primes[lo:hi]:
+            prod *= q
+        max_digit = max(max_digit, prod)
+    count = 1
+    while True:
+        aux = [
+            p.value
+            for p in ntt_friendly_primes(
+                30, count, n, kind="aux", exclude=set(primes)
+            )
+        ]
+        prod = 1
+        for p in aux:
+            prod *= p
+        if prod > max_digit:
+            return aux
+        count += 1
+
+
+def _time(fn, repeats: int) -> tuple[float, float]:
+    """(best, median) wall time over ``repeats`` runs.
+
+    Best-of is the least-noise estimator for short deterministic
+    kernels (used for the printed speedups); the median is the
+    noise-tolerant one the --baseline regression gate compares.
+    """
+    times = []
     for _ in range(repeats):
         start = time.perf_counter()
         fn()
-        best = min(best, time.perf_counter() - start)
-    return best
+        times.append(time.perf_counter() - start)
+    return min(times), statistics.median(times)
 
 
 # -- looped reference implementations (the pre-batching code paths) --------
@@ -98,6 +140,96 @@ def _looped_rescale(ctx: PolyContext, limbs: np.ndarray) -> np.ndarray:
     return out
 
 
+def _v_floor(x_hat: np.ndarray, src: list[int], q_hat: list[int],
+             modulus: int) -> np.ndarray:
+    """The conversion correction ``v`` — same float path and exact
+    boundary guard as ``BasisConverter._v_term`` so the looped and
+    batched conversions are bit-identical by construction."""
+    inv_q = 1.0 / np.array(src, dtype=np.float64).reshape(-1, 1)
+    s = np.sum(x_hat * inv_q, axis=0)
+    dist = np.abs(s - np.rint(s))
+    v = np.floor(s).astype(np.uint64)
+    for j in np.nonzero(dist < 2.0**-30)[0]:
+        exact = sum(int(x_hat[i, j]) * q_hat[i] for i in range(len(src)))
+        v[j] = exact // modulus
+    return v
+
+
+def _looped_convert(
+    src: list[int], dst: list[int], x: np.ndarray
+) -> np.ndarray:
+    """Per-(i, j) fast basis extension with per-call constant recomputes."""
+    modulus = 1
+    for q in src:
+        modulus *= q
+    q_hat = [modulus // q for q in src]
+    x_hat = np.empty_like(x)
+    for i, q in enumerate(src):
+        w = pow(q_hat[i], -1, q)  # recomputed per call, like pre-PR2 rescale
+        x_hat[i] = x[i] * np.uint64(w) % np.uint64(q)
+    v = _v_floor(x_hat, src, q_hat, modulus)
+    out = np.empty((len(dst), x.shape[1]), np.uint64)
+    for j, p in enumerate(dst):
+        acc = np.zeros(x.shape[1], np.uint64)
+        for i in range(len(src)):
+            acc += x_hat[i] * np.uint64(q_hat[i] % p) % np.uint64(p)
+        acc += v * np.uint64((-modulus) % p) % np.uint64(p)
+        out[j] = acc % np.uint64(p)
+    return out
+
+
+def _looped_mod_up(
+    primes: list[int], aux: list[int], limbs: np.ndarray
+) -> np.ndarray:
+    return np.concatenate([limbs, _looped_convert(primes, aux, limbs)])
+
+
+def _looped_mod_down(
+    primes: list[int], aux: list[int], x_ext: np.ndarray
+) -> np.ndarray:
+    num_base = len(primes)
+    conv = _looped_convert(aux, primes, x_ext[num_base:])
+    p_mod = 1
+    for p in aux:
+        p_mod *= p
+    out = np.empty((num_base, x_ext.shape[1]), np.uint64)
+    for i, q in enumerate(primes):
+        pinv = pow(p_mod, -1, q)  # per-call recompute
+        diff = (x_ext[i] + np.uint64(q) - conv[i]) % np.uint64(q)
+        out[i] = diff * np.uint64(pinv) % np.uint64(q)
+    return out
+
+
+def _looped_key_switch(
+    ctx: PolyContext, ksk: KeySwitchKey, limbs: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Naive composition: per-digit looped ModUp + per-prime looped NTT
+    multiply-accumulate + looped ModDown."""
+    ext_ctx = ksk.ext_ctx
+    primes, aux = ctx.primes, ksk.aux_primes
+    halves = []
+    for half in range(2):
+        acc = np.zeros((ext_ctx.num_limbs, ctx.ring_degree), np.uint64)
+        for d, (lo, hi) in enumerate(digit_ranges(ctx.num_limbs, ksk.dnum)):
+            digit_primes = primes[lo:hi]
+            others = primes[:lo] + primes[hi:] + aux
+            conv = _looped_convert(digit_primes, others, limbs[lo:hi])
+            ext = np.empty((ext_ctx.num_limbs, ctx.ring_degree), np.uint64)
+            ext[:lo] = conv[:lo]
+            ext[lo:hi] = limbs[lo:hi]
+            ext[hi:] = conv[lo:]
+            key = ksk.pairs[d][half]
+            for i, ntt in enumerate(ext_ctx.ntts):
+                prod = ntt.pointwise(ntt.forward(ext[i]), key.limbs[i])
+                s = acc[i] + prod
+                q = np.uint64(ext_ctx.primes[i])
+                acc[i] = np.where(s >= q, s - q, s)
+        for i, ntt in enumerate(ext_ctx.ntts):
+            acc[i] = ntt.inverse(acc[i])
+        halves.append(_looped_mod_down(primes, aux, acc))
+    return halves[0], halves[1]
+
+
 def bench_config(
     n: int, num_limbs: int, method: str, repeats: int, rng
 ) -> list[dict]:
@@ -108,29 +240,45 @@ def bench_config(
 
     cells = []
 
+    def cell(op: str, batched_fn, looped_fn) -> None:
+        best_b, med_b = _time(batched_fn, repeats)
+        best_l, med_l = _time(looped_fn, repeats)
+        cells.append(
+            {
+                "op": op,
+                "batched_s": best_b,
+                "batched_med_s": med_b,
+                "looped_s": best_l,
+                "looped_med_s": med_l,
+            }
+        )
+
     # forward NTT ----------------------------------------------------------
     looped = _looped_forward(ctx, a.limbs)
     batched = batch.forward(a.limbs)
     assert np.array_equal(looped, batched), "NTT paths disagree"
-    cells.append(
-        {
-            "op": "ntt_forward",
-            "batched_s": _time(lambda: batch.forward(a.limbs), repeats),
-            "looped_s": _time(lambda: _looped_forward(ctx, a.limbs), repeats),
-        }
+    cell(
+        "ntt_forward",
+        lambda: batch.forward(a.limbs),
+        lambda: _looped_forward(ctx, a.limbs),
     )
 
     # full negacyclic multiply --------------------------------------------
+    # Fresh wrappers per call: the twin/prepared caches would otherwise
+    # turn iterations 2..k into pure pointwise passes.
+    def fused_multiply():
+        return RnsPolynomial(ctx, a.limbs).multiply(
+            RnsPolynomial(ctx, b.limbs)
+        )
+
     looped = _looped_multiply(ctx, a.limbs, b.limbs)
-    assert np.array_equal(looped, (a * b).limbs), "multiply paths disagree"
-    cells.append(
-        {
-            "op": "multiply",
-            "batched_s": _time(lambda: a * b, repeats),
-            "looped_s": _time(
-                lambda: _looped_multiply(ctx, a.limbs, b.limbs), repeats
-            ),
-        }
+    assert np.array_equal(looped, fused_multiply().limbs), (
+        "multiply paths disagree"
+    )
+    cell(
+        "multiply",
+        fused_multiply,
+        lambda: _looped_multiply(ctx, a.limbs, b.limbs),
     )
 
     # exact rescale --------------------------------------------------------
@@ -138,22 +286,100 @@ def bench_config(
     assert np.array_equal(looped, a.exact_rescale().limbs), (
         "rescale paths disagree"
     )
-    cells.append(
-        {
-            "op": "rescale",
-            "batched_s": _time(lambda: a.exact_rescale(), repeats),
-            "looped_s": _time(lambda: _looped_rescale(ctx, a.limbs), repeats),
-        }
+    cell(
+        "rescale",
+        lambda: a.exact_rescale(),
+        lambda: _looped_rescale(ctx, a.limbs),
     )
 
-    for cell in cells:
-        cell.update(
+    # basis conversion: ModUp / ModDown -----------------------------------
+    dnum = 2 if num_limbs <= 6 else 3
+    aux = _aux_for(ctx.primes, n, dnum)
+    ext_ctx = ctx.extend(aux)
+
+    up = a.mod_up(aux)
+    looped_up = _looped_mod_up(ctx.primes, aux, a.limbs)
+    assert np.array_equal(up.limbs, looped_up), "mod_up paths disagree"
+    # Exact big-int CRT reference: row j must be X mod p_j exactly.
+    coeffs = a.to_int_coeffs(centered=False)
+    expect = np.array(
+        [[x % p for x in coeffs] for p in ext_ctx.primes], dtype=np.uint64
+    )
+    assert np.array_equal(up.limbs, expect), "mod_up != big-int reference"
+    cell(
+        "mod_up",
+        lambda: a.mod_up(aux),
+        lambda: _looped_mod_up(ctx.primes, aux, a.limbs),
+    )
+
+    down = up.mod_down(len(aux))
+    looped_down = _looped_mod_down(ctx.primes, aux, up.limbs)
+    assert np.array_equal(down.limbs, looped_down), "mod_down paths disagree"
+    p_mod = 1
+    for p in aux:
+        p_mod *= p
+    up_coeffs = up.to_int_coeffs(centered=False)
+    expect = np.array(
+        [[(x // p_mod) % q for x in up_coeffs] for q in ctx.primes],
+        dtype=np.uint64,
+    )
+    assert np.array_equal(down.limbs, expect), "mod_down != big-int reference"
+    cell(
+        "mod_down",
+        lambda: up.mod_down(len(aux)),
+        lambda: _looped_mod_down(ctx.primes, aux, up.limbs),
+    )
+
+    # fused hybrid key switch ---------------------------------------------
+    ksk = KeySwitchKey.random(ctx, aux, dnum, rng)
+    c0, c1 = a.key_switch(ksk)
+    l0, l1 = _looped_key_switch(ctx, ksk, a.limbs)
+    assert np.array_equal(c0.limbs, l0) and np.array_equal(c1.limbs, l1), (
+        "key_switch paths disagree"
+    )
+    cell(
+        "key_switch",
+        lambda: a.key_switch(ksk),
+        lambda: _looped_key_switch(ctx, ksk, a.limbs),
+    )
+
+    for c in cells:
+        c.update(
             n=n,
             limbs=num_limbs,
             method=method,
-            speedup=round(cell["looped_s"] / cell["batched_s"], 2),
+            speedup=round(c["looped_s"] / c["batched_s"], 2),
         )
     return cells
+
+
+def compare_to_baseline(
+    results: list[dict],
+    baseline: dict,
+    threshold: float = REGRESSION_THRESHOLD,
+) -> list[str]:
+    """Regressions of the batched median vs a recorded baseline.
+
+    Cells are matched on ``(op, n, limbs, method)``; cells absent from
+    either side are skipped (a new kernel is not a regression), as are
+    baseline cells recorded before medians existed.  Returns one message
+    per cell whose batched median slowed by more than ``threshold``.
+    """
+    key = lambda c: (c["op"], c["n"], c["limbs"], c["method"])  # noqa: E731
+    recorded = {key(c): c for c in baseline.get("results", [])}
+    regressions = []
+    for c in results:
+        base = recorded.get(key(c))
+        if base is None or "batched_med_s" not in base:
+            continue
+        old, new = base["batched_med_s"], c["batched_med_s"]
+        if new > old * (1 + threshold):
+            regressions.append(
+                f"{c['op']} N={c['n']} L={c['limbs']} {c['method']}: "
+                f"batched median {new*1e3:.3f} ms vs baseline "
+                f"{old*1e3:.3f} ms (+{(new/old - 1)*100:.0f}%)"
+            )
+    return regressions
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -169,10 +395,23 @@ def main(argv: list[str] | None = None) -> int:
         default=_REPO_ROOT / "BENCH_poly.json",
         help="output JSON path (default: repo-root BENCH_poly.json)",
     )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="committed BENCH_poly.json to compare against; exits "
+        "non-zero on a >25%% batched-median regression in any "
+        "previously-recorded cell",
+    )
     args = parser.parse_args(argv)
 
     grid = SMOKE_GRID if args.smoke else FULL_GRID
     repeats = 3 if args.smoke else 5
+    if args.baseline is not None:
+        # The regression gate compares medians; a median of 3 is barely
+        # noise-tolerant on shared CI machines, so comparisons run more
+        # repeats than a plain recording pass.
+        repeats = max(repeats, 9)
     rng = np.random.default_rng(0xBE7C4)
 
     results = []
@@ -193,7 +432,7 @@ def main(argv: list[str] | None = None) -> int:
             "bench": "bench_poly",
             "smoke": args.smoke,
             "repeats": repeats,
-            "timing": "best-of-repeats wall seconds",
+            "timing": "best-of and median-of-repeats wall seconds",
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
@@ -202,6 +441,16 @@ def main(argv: list[str] | None = None) -> int:
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {len(results)} cells to {args.out}")
+
+    if args.baseline is not None:
+        baseline = json.loads(args.baseline.read_text())
+        regressions = compare_to_baseline(results, baseline)
+        if regressions:
+            print(f"\n{len(regressions)} regression(s) vs {args.baseline}:")
+            for line in regressions:
+                print(f"  REGRESSION {line}")
+            return 1
+        print(f"\nno regressions vs {args.baseline}")
     return 0
 
 

@@ -9,6 +9,14 @@ path), :class:`RnsPolynomial` across limbs, :class:`LazyAccumulator` for
 pricing.
 """
 
+from repro.poly.basis_conv import (
+    BasisConverter,
+    KeySwitcher,
+    KeySwitchKey,
+    KeySwitchPlan,
+    ModDown,
+    ModUp,
+)
 from repro.poly.batch_ntt import BatchNTT
 from repro.poly.cost import (
     MODADD_INSTRS,
@@ -30,9 +38,15 @@ __all__ = [
     "NTT",
     "MODADD_INSTRS",
     "RAW64_INSTRS",
+    "BasisConverter",
     "BatchNTT",
     "CostModel",
+    "KeySwitchKey",
+    "KeySwitchPlan",
+    "KeySwitcher",
     "LazyAccumulator",
+    "ModDown",
+    "ModUp",
     "NegacyclicNTT",
     "OpCost",
     "PolyContext",

@@ -162,18 +162,75 @@ class BatchNTT:
             raise ParameterError(
                 f"cannot take {num_limbs} of {self.num_limbs} limbs"
             )
-        if num_limbs == self.num_limbs:
+        return self.take_rows(0, num_limbs)
+
+    def take_rows(self, start: int, stop: int) -> BatchNTT:
+        """A BatchNTT over limb rows ``[start, stop)``, sharing tables.
+
+        The general form of :meth:`take`: key switching transforms *row
+        windows* of the extended basis (e.g. only the auxiliary P-part
+        rows of an NTT-domain key-switch result during ModDown), and the
+        window engine's prepared twiddle rows are views into this
+        engine's — no power-table rebuild.
+        """
+        if not (0 <= start < stop <= self.num_limbs):
+            raise ParameterError(
+                f"row window [{start}, {stop}) outside "
+                f"[0, {self.num_limbs})"
+            )
+        if start == 0 and stop == self.num_limbs:
             return self
+        return self._clone(
+            self.primes[start:stop],
+            self.psis[start:stop],
+            tuple(p[start:stop] for p in self._fwd),
+            tuple(p[start:stop] for p in self._inv),
+            tuple(p[start:stop] for p in self._n_inv),
+        )
+
+    def extend(
+        self,
+        extra_primes: Sequence[Prime | int],
+        *,
+        psis: Sequence[int] | None = None,
+    ) -> BatchNTT:
+        """A BatchNTT over this basis followed by ``extra_primes``.
+
+        The extended-basis engine key switching needs (Q then the
+        auxiliary P primes): prepared twiddle rows for the existing limbs
+        are *shared* with this engine, and only the new primes pay the
+        power-table build — so the extended tables cost O(K·N) work for K
+        new primes instead of O((L+K)·N).
+        """
+        extra = BatchNTT(extra_primes, self.n, self.method, psis=psis)
+        overlap = set(self.primes) & set(extra.primes)
+        if overlap:
+            raise ParameterError(
+                f"extension primes overlap the base basis: {sorted(overlap)}"
+            )
+        return self._clone(
+            self.primes + extra.primes,
+            self.psis + extra.psis,
+            tuple(np.concatenate([a, b]) for a, b in zip(self._fwd, extra._fwd)),
+            tuple(np.concatenate([a, b]) for a, b in zip(self._inv, extra._inv)),
+            tuple(
+                np.concatenate([a, b])
+                for a, b in zip(self._n_inv, extra._n_inv)
+            ),
+        )
+
+    def _clone(self, primes, psis, fwd, inv, n_inv) -> BatchNTT:
+        """Assemble an engine from already-prepared tables (take/extend)."""
         clone = object.__new__(BatchNTT)
-        clone.primes = self.primes[:num_limbs]
-        clone.psis = self.psis[:num_limbs]
+        clone.primes = list(primes)
+        clone.psis = list(psis)
         clone.n = self.n
         clone.log_n = self.log_n
         clone.method = self.method
         clone.backend = make_ntt_backend(self.method, clone.primes)
-        clone._fwd = tuple(p[:num_limbs] for p in self._fwd)
-        clone._inv = tuple(p[:num_limbs] for p in self._inv)
-        clone._n_inv = tuple(p[:num_limbs] for p in self._n_inv)
+        clone._fwd = fwd
+        clone._inv = inv
+        clone._n_inv = n_inv
         clone._kernel = _KERNELS[self.method](
             clone.primes, self.n, clone.backend.red
         )
@@ -188,19 +245,26 @@ class BatchNTT:
             )
 
     # -- transforms --------------------------------------------------------
-    def forward(self, a: np.ndarray) -> np.ndarray:
+    def forward(self, a: np.ndarray, *, out: np.ndarray | None = None):
         """(L, N) coefficients -> (L, N) NTT values, all limbs per stage.
 
         Identical butterfly schedule to the per-prime engine; each stage's
-        Cooley-Tukey pass runs over the whole limb matrix at once.
+        Cooley-Tukey pass runs over the whole limb matrix at once.  With
+        ``out`` (a uint64 (L, N) buffer) the result is written there
+        instead of a fresh array — the fused key-switching pipeline keeps
+        its transforms allocation-free this way.  ``out`` may alias ``a``
+        (the input is copied into the workspace before any write).
         """
         self._check_shape(a, "forward")
-        return self._kernel.forward(a)
+        return self._kernel.forward(a, out=out)
 
-    def inverse(self, a_hat: np.ndarray) -> np.ndarray:
-        """(L, N) NTT values -> (L, N) coefficients (Gentleman-Sande)."""
+    def inverse(self, a_hat: np.ndarray, *, out: np.ndarray | None = None):
+        """(L, N) NTT values -> (L, N) coefficients (Gentleman-Sande).
+
+        ``out`` as in :meth:`forward`.
+        """
         self._check_shape(a_hat, "inverse")
-        return self._kernel.inverse(a_hat)
+        return self._kernel.inverse(a_hat, out=out)
 
     # -- NTT-domain arithmetic ---------------------------------------------
     def prepare_operand(self, b_hat: np.ndarray) -> tuple[np.ndarray, ...]:
@@ -340,7 +404,7 @@ class _KernelBase:
         return dst.reshape(length, self.n), cur.reshape(length, self.n)
 
     # -- transforms --------------------------------------------------------
-    def forward(self, a: np.ndarray) -> np.ndarray:
+    def forward(self, a: np.ndarray, *, out: np.ndarray | None = None):
         x, y = self.enter(a)
         length = len(self.primes)
         transposed = False
@@ -376,9 +440,9 @@ class _KernelBase:
             m <<= 1
         if transposed:
             x, y = self._transpose_out(x, y)
-        return self.exit(x, y)
+        return self.exit(x, y, out)
 
-    def inverse(self, a_hat: np.ndarray) -> np.ndarray:
+    def inverse(self, a_hat: np.ndarray, *, out: np.ndarray | None = None):
         x, y = self.enter(a_hat)
         length = len(self.primes)
         transposed = False
@@ -422,9 +486,9 @@ class _KernelBase:
         tw = tuple(p[:, :, None] for p in self.n_inv)
         for lo in (0, half):
             v = x[:, lo : lo + half].reshape(length, 1, half)
-            out = y[:, lo : lo + half].reshape(length, 1, half)
-            self._mul(v, tw, self.cN, (length, 1, half), out)
-        return self.exit(y, x)
+            dst = y[:, lo : lo + half].reshape(length, 1, half)
+            self._mul(v, tw, self.cN, (length, 1, half), dst)
+        return self.exit(y, x, out)
 
 
 class _Canon32Kernel(_KernelBase):
@@ -453,8 +517,16 @@ class _Canon32Kernel(_KernelBase):
         np.copyto(x, a, casting="unsafe")
         return x, y
 
-    def exit(self, x: np.ndarray, _scratch: np.ndarray) -> np.ndarray:
-        return x.astype(np.uint64)
+    def exit(
+        self,
+        x: np.ndarray,
+        _scratch: np.ndarray,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        if out is None:
+            return x.astype(np.uint64)
+        np.copyto(out, x, casting="unsafe")  # canonical uint32 -> uint64
+        return out
 
     def _bfly(self, u, yu, yv, c, shape):
         """(u, tt=yv) -> (u + tt, u + q - tt) mod q, canonical, uint32."""
@@ -638,10 +710,18 @@ class _BarrettKernel(_KernelBase):
         np.copyto(x, a)
         return x, y
 
-    def exit(self, x: np.ndarray, scratch: np.ndarray) -> np.ndarray:
-        """[0, 2q) -> fresh canonical [0, q) via the wraparound min-trick."""
+    def exit(
+        self,
+        x: np.ndarray,
+        scratch: np.ndarray,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """[0, 2q) -> canonical [0, q) via the wraparound min-trick."""
         np.subtract(x, self.q_ucol, out=scratch)
-        return np.minimum(x, scratch)
+        if out is None:
+            return np.minimum(x, scratch)
+        np.minimum(x, scratch, out=out)
+        return out
 
     def _mul(self, v, tw, c, shape, out):
         b1, b2, b3, b4 = (s.reshape(shape) for s in self._workspace()[2])

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ParameterError
+from repro.rns.primes import digit_ranges
 from repro.rns.reduction import REDUCTION_COSTS
 
 #: int32 instructions per modular addition: one 32-bit add, then a
@@ -55,6 +56,12 @@ class OpCost:
     twiddle_consts: int = 0
     raw_muls64: int = 0
     raw_adds64: int = 0
+    #: pre-priced int32 instructions from sub-kernels running under a
+    #: *different* reduction method than ``method`` — the basis-conversion
+    #: layer always executes Shoup chains, so a composite like key
+    #: switching under an SMR NTT backend carries its conversion cost
+    #: here, already multiplied out.
+    extra_int32: int = 0
 
     @property
     def int32_instrs(self) -> int:
@@ -64,6 +71,7 @@ class OpCost:
             self.modmuls * per_mul
             + self.modadds * MODADD_INSTRS
             + (self.raw_muls64 + self.raw_adds64) * RAW64_INSTRS
+            + self.extra_int32
         )
 
     def scaled(self, factor: int, name: str | None = None) -> OpCost:
@@ -75,7 +83,26 @@ class OpCost:
             self.twiddle_consts * factor,
             self.raw_muls64 * factor,
             self.raw_adds64 * factor,
+            self.extra_int32 * factor,
         )
+
+
+def _merge(a: OpCost, b: OpCost) -> OpCost:
+    """Field-wise sum of two same-method costs, keeping ``a``'s name."""
+    if a.method != b.method:
+        raise ParameterError(
+            f"cannot merge {a.method!r} and {b.method!r} costs field-wise"
+        )
+    return OpCost(
+        a.name,
+        a.method,
+        a.modmuls + b.modmuls,
+        a.modadds + b.modadds,
+        a.twiddle_consts + b.twiddle_consts,
+        a.raw_muls64 + b.raw_muls64,
+        a.raw_adds64 + b.raw_adds64,
+        a.extra_int32 + b.extra_int32,
+    )
 
 
 class CostModel:
@@ -213,6 +240,121 @@ class CostModel:
             raw_adds64=terms * lanes,
         )
 
+    # -- basis conversion / key switching (§4.3) ---------------------------
+    def basis_convert(self, l_in: int, l_out: int) -> OpCost:
+        """Fast basis extension of ``l_in`` source onto ``l_out`` target limbs.
+
+        Always priced under Shoup (``method="shoup"``): the production
+        :class:`~repro.poly.basis_conv.BasisConverter` runs canonical
+        uint64 Shoup chains whatever NTT backend the context uses.  Per
+        coefficient: ``l_in`` scale modmuls, the ``l_out × l_in`` CRT
+        matrix modmuls with their folds deferred as raw 64-bit adds, one
+        v-correction modmul + add per output limb, and one terminal fold
+        per output lane (priced as one modmul-equivalent short Barrett
+        chain, the :meth:`multiply_accumulate` convention).  The float64
+        v-term itself runs on the FP datapath and is free in this int32
+        model.
+        """
+        if l_in < 1 or l_out < 1:
+            raise ParameterError(
+                f"basis_convert needs l_in, l_out >= 1, got {l_in}, {l_out}"
+            )
+        n = self.n
+        return OpCost(
+            "basis_convert",
+            "shoup",
+            modmuls=n * (l_in + l_in * l_out + l_out + l_out),
+            modadds=0,
+            twiddle_consts=2 * l_in + 2 * l_in * l_out + 2 * l_out,
+            raw_adds64=n * (l_in * l_out + l_out),
+        )
+
+    def mod_up(self, num_aux: int, *, dnum: int = 1) -> OpCost:
+        """ModUp: every digit extended onto the ``L + num_aux`` basis.
+
+        Digit ``d`` (``s_d`` limbs) converts onto the ``L + K - s_d``
+        complement rows; the digit rows themselves are copies (free in
+        the arithmetic model).  Priced under Shoup like
+        :meth:`basis_convert`.
+        """
+        ext = self.num_limbs + num_aux
+        total = OpCost("mod_up", "shoup", 0, 0)
+        # The same partition the executor uses (one source of truth).
+        for lo, hi in digit_ranges(self.num_limbs, dnum):
+            total = _merge(total, self.basis_convert(hi - lo, ext - (hi - lo)))
+        return total
+
+    def mod_down(self, num_aux: int) -> OpCost:
+        """ModDown of an ``L + num_aux``-limb element back onto ``L``.
+
+        One ``num_aux -> L`` conversion plus, per surviving lane, one
+        fold-subtract and one ``P^-1`` Shoup modmul.
+        """
+        if num_aux < 1:
+            raise ParameterError(f"mod_down needs num_aux >= 1, got {num_aux}")
+        conv = self.basis_convert(num_aux, self.num_limbs)
+        lanes = self.n * self.num_limbs
+        return OpCost(
+            "mod_down",
+            "shoup",
+            modmuls=conv.modmuls + lanes,
+            modadds=conv.modadds + lanes,
+            twiddle_consts=conv.twiddle_consts + 2 * self.num_limbs,
+            raw_adds64=conv.raw_adds64,
+        )
+
+    def key_switch(
+        self, num_aux: int, *, dnum: int = 1, output_domain: str = "coeff"
+    ) -> OpCost:
+        """The fused hybrid key switch (§4.2/§4.3), both halves.
+
+        Method-priced parts (the context's NTT backend): ``dnum``
+        forward NTTs over the extended basis, the two-half MAC through
+        the lazy accumulator, and the output transforms — full extended
+        inverses for a coefficient output, or only the ``num_aux``
+        auxiliary-row inverses plus ``L``-row forwards of the converted
+        tails for an NTT output (the planner's whole point).  The
+        conversion sub-kernels (ModUp / ModDown) always run Shoup chains
+        and ride along pre-priced in ``extra_int32``.
+        """
+        if output_domain not in ("coeff", "ntt"):
+            raise ParameterError(f"unknown output domain {output_domain!r}")
+        ext = self.num_limbs + num_aux
+        fwd = self.ntt()
+        inv = self.intt()
+        lanes = self.n * ext
+        # dnum extended-basis forward transforms.
+        modmuls = dnum * ext * fwd.modmuls
+        modadds = dnum * ext * fwd.modadds
+        consts = ext * (fwd.twiddle_consts + inv.twiddle_consts)
+        # MAC: per half, one modmul per term per lane, deferred folds as
+        # raw 64-bit adds, one terminal fold per lane.
+        modmuls += 2 * (dnum + 1) * lanes
+        raw_adds = 2 * dnum * lanes
+        if output_domain == "coeff":
+            modmuls += 2 * ext * inv.modmuls
+            modadds += 2 * ext * inv.modadds
+        else:
+            modmuls += 2 * (num_aux * inv.modmuls
+                            + self.num_limbs * fwd.modmuls)
+            modadds += 2 * (num_aux * inv.modadds
+                            + self.num_limbs * fwd.modadds)
+        conversions = [self.mod_down(num_aux), self.mod_down(num_aux)]
+        conversions.append(self.mod_up(num_aux, dnum=dnum))
+        # mod_down was counted twice (one per half); mod_up covers all
+        # digits already.
+        extra = sum(c.int32_instrs for c in conversions)
+        consts += sum(c.twiddle_consts for c in conversions[1:])
+        return OpCost(
+            "key_switch",
+            self.method,
+            modmuls=modmuls,
+            modadds=modadds,
+            twiddle_consts=consts,
+            raw_adds64=raw_adds,
+            extra_int32=extra,
+        )
+
     def rescale(self) -> OpCost:
         """Exact rescale: per surviving limb, N subtracts and N modmuls."""
         limbs = self.num_limbs - 1
@@ -228,6 +370,8 @@ class CostModel:
 
     # -- reporting ---------------------------------------------------------
     def operations(self) -> list[OpCost]:
+        """Representative op set for :meth:`table` (one aux limb, one
+        digit for the key-switching rows)."""
         return [
             self.ntt(),
             self.intt(),
@@ -236,6 +380,10 @@ class CostModel:
             self.poly_multiply(),
             self.multiply_accumulate(2),
             self.rescale(),
+            self.basis_convert(self.num_limbs, self.num_limbs),
+            self.mod_up(1),
+            self.mod_down(1),
+            self.key_switch(1),
         ]
 
     def table(self) -> str:

@@ -181,7 +181,7 @@ class LazyAccumulator:
                 "canonical residue first"
             )
         self._charge(max_abs, "accumulating a value")
-        self.acc += v.astype(self.acc.dtype)
+        self.acc += v.astype(self.acc.dtype, copy=False)
         self.terms += 1
         return self
 
@@ -204,6 +204,32 @@ class LazyAccumulator:
             return (acc % q).astype(np.uint64)
         q = align_rows(np.asarray(self.reducer.q, np.uint64), acc.ndim)
         return acc % q
+
+    def fold_into(self, out: np.ndarray) -> np.ndarray:
+        """Destructive :meth:`fold` writing canonical residues into ``out``.
+
+        The fused pipelines (basis conversion, key switching) fold into
+        persistent scratch so the hot path allocates nothing.  The terminal
+        remainder runs *in place on the accumulator*, so the accumulator
+        state is consumed: call :meth:`reset` before accumulating again.
+        ``out`` must be a uint64 array of the accumulator's shape.
+        """
+        if out.shape != self.acc.shape or out.dtype != np.uint64:
+            raise ParameterError(
+                f"fold_into needs a uint64 {self.acc.shape} buffer, got "
+                f"{out.dtype} {out.shape}"
+            )
+        acc = self.acc
+        if self.strategy == "raw":
+            acc = self.reducer.reduce(acc)  # one Alg. 2 pass, into (-q, q)
+            np.copyto(self.acc, acc)
+            acc = self.acc
+        q = align_rows(
+            np.asarray(self.reducer.q, dtype=acc.dtype), acc.ndim
+        )
+        np.remainder(acc, q, out=acc)  # floor-mod: canonical even if signed
+        np.copyto(out, acc, casting="unsafe")
+        return out
 
     def reset(self) -> None:
         self.acc[...] = 0

@@ -25,6 +25,8 @@ so coefficients never leave the standard domain between butterflies.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.errors import ParameterError
@@ -54,8 +56,16 @@ def _range_error(a: np.ndarray, q) -> ParameterError:
     )
 
 
+@lru_cache(maxsize=32)
 def bit_reverse_permutation(n: int) -> np.ndarray:
-    """Index array ``p`` with ``p[i]`` = ``i`` bit-reversed over log2(n) bits."""
+    """Index array ``p`` with ``p[i]`` = ``i`` bit-reversed over log2(n) bits.
+
+    Cached per ``n`` (and returned read-only so shared state cannot be
+    corrupted): every engine construction — each per-prime engine, each
+    batched table build, each extended-basis table build — gathers its
+    twiddle tables through this index array, and at small ``N`` that
+    repeated build + gather is the largest non-butterfly cost.
+    """
     if n <= 0 or n & (n - 1):
         raise ParameterError(f"bit reversal needs a power of two, got {n}")
     log_n = n.bit_length() - 1
@@ -63,6 +73,7 @@ def bit_reverse_permutation(n: int) -> np.ndarray:
     rev = np.zeros(n, dtype=np.int64)
     for bit in range(log_n):
         rev |= ((idx >> bit) & 1) << (log_n - 1 - bit)
+    rev.flags.writeable = False
     return rev
 
 

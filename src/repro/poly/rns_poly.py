@@ -91,6 +91,12 @@ class PolyContext:
         self.moduli = np.array(self.primes, dtype=np.uint64).reshape(-1, 1)
         self._dropped: PolyContext | None = None
         self._parent: PolyContext | None = None
+        #: base context this one was built from via :meth:`extend` (if any)
+        self._ext_parent: PolyContext | None = None
+        self._extended: dict[tuple[int, ...], PolyContext] = {}
+        self._bases: dict[int, PolyContext] = {}
+        self._basis_kernels: dict[tuple, object] = {}
+        self._switchers: dict[tuple, object] = {}
 
     @property
     def ntts(self) -> list[NegacyclicNTT]:
@@ -160,6 +166,97 @@ class PolyContext:
             child._parent = self
             self._dropped = child
         return self._dropped
+
+    def extend(self, aux_primes: Sequence[Prime | int]) -> PolyContext:
+        """The extended context ``Q ∪ P`` for key switching, cached.
+
+        The extended basis appends the auxiliary (P-part) primes after
+        the live limbs; its batched NTT shares this context's prepared
+        twiddle rows (``BatchNTT.extend``), so only the new primes pay a
+        table build.  The result remembers this context as its extension
+        base, which is how ``mod_down`` finds its way home.
+        """
+        key = tuple(int(p) for p in aux_primes)
+        if not key:
+            raise ParameterError("extension needs at least one aux prime")
+        ext = self._extended.get(key)
+        if ext is None:
+            ext = PolyContext(
+                self.ring_degree,
+                self.primes + list(key),
+                self.method,
+                _batch=self.batch_ntt.extend(key),
+            )
+            ext._ext_parent = self
+            self._extended[key] = ext
+        return ext
+
+    def base_of_extension(self, num_aux: int) -> PolyContext:
+        """The context this one extends by ``num_aux`` auxiliary limbs.
+
+        Returns the original base context when this one came from
+        :meth:`extend` (sharing its caches); otherwise builds — and
+        caches — a prefix context over ``primes[:-num_aux]`` whose
+        batched engine shares this context's tables.
+        """
+        if not 1 <= num_aux < self.num_limbs:
+            raise LevelError(
+                f"cannot strip {num_aux} aux limbs from a "
+                f"{self.num_limbs}-limb context"
+            )
+        parent = self._ext_parent
+        if parent is not None and parent.num_limbs == self.num_limbs - num_aux:
+            return parent
+        base = self._bases.get(num_aux)
+        if base is None:
+            base = PolyContext(
+                self.ring_degree,
+                self.primes[: -num_aux],
+                self.method,
+                _batch=self.batch_ntt.take(self.num_limbs - num_aux),
+            )
+            self._bases[num_aux] = base
+        return base
+
+    def mod_up_kernel(self, aux_primes: Sequence[Prime | int]):
+        """The cached whole-basis :class:`~repro.poly.basis_conv.ModUp`."""
+        from repro.poly.basis_conv import ModUp
+
+        ext = self.extend(aux_primes)
+        key = ("up", tuple(ext.primes))
+        kern = self._basis_kernels.get(key)
+        if kern is None:
+            kern = ModUp(ext.primes, 0, self.num_limbs, self.ring_degree)
+            self._basis_kernels[key] = kern
+        return kern
+
+    def mod_down_kernel(self, num_aux: int):
+        """The cached :class:`~repro.poly.basis_conv.ModDown` for this
+        extended context's last ``num_aux`` limbs."""
+        from repro.poly.basis_conv import ModDown
+
+        base = self.base_of_extension(num_aux)
+        key = ("down", num_aux)
+        kern = self._basis_kernels.get(key)
+        if kern is None:
+            kern = ModDown(
+                base.primes, self.primes[-num_aux:], self.ring_degree
+            )
+            self._basis_kernels[key] = kern
+        return kern
+
+    def key_switcher(
+        self, aux_primes: Sequence[Prime | int], dnum: int
+    ):
+        """The cached fused key-switching pipeline for ``(P, dnum)``."""
+        from repro.poly.basis_conv import KeySwitcher
+
+        key = (tuple(int(p) for p in aux_primes), int(dnum))
+        switcher = self._switchers.get(key)
+        if switcher is None:
+            switcher = KeySwitcher(self, key[0], key[1])
+            self._switchers[key] = switcher
+        return switcher
 
     @cached_property
     def _rescale_scratch(self) -> tuple[np.ndarray, np.ndarray]:
@@ -236,10 +333,16 @@ class RnsPolynomial:
 
     Limbs are treated as immutable once constructed (every operation
     returns a new polynomial); this is what lets an NTT-domain operand
-    cache its backend-prepared form for repeated pointwise products.
+    cache its backend-prepared form for repeated pointwise products and
+    lets ``to_ntt``/``to_coeff`` cache each other's result (the *twin*):
+    transforming the same polynomial twice costs one transform.  The
+    sanctioned exception is the in-place mutator family (``add_`` /
+    ``sub_`` / ``negate_``), which writes into ``limbs`` and drops both
+    caches — mutating ``limbs`` behind the object's back instead leaves
+    stale prepared/twin handles serving wrong answers.
     """
 
-    __slots__ = ("ctx", "limbs", "domain", "_prepared")
+    __slots__ = ("ctx", "limbs", "domain", "_prepared", "_twin")
 
     def __init__(
         self, ctx: PolyContext, limbs: np.ndarray, domain: str = COEFF
@@ -255,6 +358,7 @@ class RnsPolynomial:
         self.limbs = limbs.astype(np.uint64, copy=False)
         self.domain = domain
         self._prepared: tuple[np.ndarray, ...] | None = None
+        self._twin: RnsPolynomial | None = None
 
     @property
     def num_limbs(self) -> int:
@@ -296,19 +400,81 @@ class RnsPolynomial:
     def __neg__(self) -> RnsPolynomial:
         return self.negate()
 
+    # -- in-place mutation (invalidates caches) ----------------------------
+    def _invalidate(self) -> None:
+        """Drop caches that describe the (about-to-change) limb values.
+
+        The backend-prepared handle is derived data; the twin link is
+        bidirectional, so the twin's back-pointer is severed too — its
+        own limbs stay valid, it just no longer mirrors this polynomial.
+        """
+        self._prepared = None
+        twin = self._twin
+        self._twin = None
+        if twin is not None:
+            twin._twin = None
+
+    def add_(self, other: RnsPolynomial) -> RnsPolynomial:
+        """In-place :meth:`add`: accumulate ``other`` into this limb matrix.
+
+        Returns ``self``; drops the cached prepared handle and domain
+        twin (see :meth:`_invalidate`).
+        """
+        self._check(other)
+        self._invalidate()
+        q = self.ctx.moduli
+        np.add(self.limbs, other.limbs, out=self.limbs)
+        np.minimum(self.limbs, self.limbs - q, out=self.limbs)
+        return self
+
+    def sub_(self, other: RnsPolynomial) -> RnsPolynomial:
+        """In-place :meth:`sub`."""
+        self._check(other)
+        self._invalidate()
+        q = self.ctx.moduli
+        np.add(self.limbs, q, out=self.limbs)
+        np.subtract(self.limbs, other.limbs, out=self.limbs)
+        np.minimum(self.limbs, self.limbs - q, out=self.limbs)
+        return self
+
+    def negate_(self) -> RnsPolynomial:
+        """In-place :meth:`negate`."""
+        self._invalidate()
+        q = self.ctx.moduli
+        np.copyto(
+            self.limbs,
+            np.where(self.limbs == 0, self.limbs, q - self.limbs),
+        )
+        return self
+
     # -- domain switches ---------------------------------------------------
     def to_ntt(self) -> RnsPolynomial:
-        """All limbs through the batched forward NTT in one stage-wise pass."""
+        """All limbs through the batched forward NTT in one stage-wise pass.
+
+        The result is cached as this polynomial's *twin* (and vice
+        versa), so repeated transforms of the same polynomial — the §4.2
+        shape where one operand meets many partners — pay the transform,
+        its bit-reversal-ordered twiddle gathers included, exactly once.
+        """
         if self.domain == NTT:
             return self
-        out = self.ctx.batch_ntt.forward(self.limbs)
-        return RnsPolynomial(self.ctx, out, NTT)
+        if self._twin is None:
+            out = self.ctx.batch_ntt.forward(self.limbs)
+            twin = RnsPolynomial(self.ctx, out, NTT)
+            twin._twin = self
+            self._twin = twin
+        return self._twin
 
     def to_coeff(self) -> RnsPolynomial:
+        """Inverse of :meth:`to_ntt`, with the same twin caching."""
         if self.domain == COEFF:
             return self
-        out = self.ctx.batch_ntt.inverse(self.limbs)
-        return RnsPolynomial(self.ctx, out, COEFF)
+        if self._twin is None:
+            out = self.ctx.batch_ntt.inverse(self.limbs)
+            twin = RnsPolynomial(self.ctx, out, COEFF)
+            twin._twin = self
+            self._twin = twin
+        return self._twin
 
     # -- multiplication ----------------------------------------------------
     def prepared_operand(self) -> tuple[np.ndarray, ...]:
@@ -341,13 +507,18 @@ class RnsPolynomial:
         Coefficient-domain operands are transformed in, multiplied
         pointwise, and transformed back; NTT-domain operands stay in NTT
         (the caller chose that layout deliberately, e.g. to amortize the
-        forward transforms across several products).
+        forward transforms across several products).  The operands keep
+        their transform twins (repeat products against them are cheap);
+        the *result* is built directly in the coefficient domain so a
+        chain of products does not pin an extra NTT-domain copy of every
+        intermediate.
         """
         self._check(other)
         if self.domain == NTT:
             return self.pointwise_multiply(other)
         prod = self.to_ntt().pointwise_multiply(other.to_ntt())
-        return prod.to_coeff()
+        out = self.ctx.batch_ntt.inverse(prod.limbs)
+        return RnsPolynomial(self.ctx, out, COEFF)
 
     def __mul__(self, other: RnsPolynomial) -> RnsPolynomial:
         return self.multiply(other)
@@ -470,6 +641,73 @@ class RnsPolynomial:
         np.subtract(s1, q, out=s2)
         out = np.minimum(s1, s2)
         return RnsPolynomial(child, out, COEFF)
+
+    # -- basis conversion / key switching (§4.3) ---------------------------
+    def mod_up(self, aux_primes: Sequence[Prime | int]) -> RnsPolynomial:
+        """Extend this element onto the basis ``Q ∪ P`` (ModUp).
+
+        Fast basis extension of the canonical representative: the
+        original limbs are copied and the auxiliary rows are filled by
+        the cached :class:`~repro.poly.basis_conv.BasisConverter` —
+        output row ``p_j`` is exactly ``X mod p_j`` for ``X in [0, Q)``.
+        Requires the coefficient domain (CRT mixing has no pointwise
+        NTT analogue).
+        """
+        if self.domain != COEFF:
+            raise LayoutError("mod_up requires the coefficient domain")
+        ext = self.ctx.extend(aux_primes)
+        kern = self.ctx.mod_up_kernel(aux_primes)
+        out = np.empty((ext.num_limbs, ext.ring_degree), np.uint64)
+        kern.apply(self.limbs, out)
+        return RnsPolynomial(ext, out, COEFF)
+
+    def mod_down(self, num_aux: int) -> RnsPolynomial:
+        """Divide by the auxiliary modulus ``P`` exactly, dropping its limbs.
+
+        Treats the last ``num_aux`` limb rows as the P-part and computes
+        ``floor(X / P)`` on the base basis (the key-switching rescale;
+        see :class:`~repro.poly.basis_conv.ModDown`).  Requires the
+        coefficient domain; the fused ``key_switch`` pipeline has an
+        NTT-domain variant that never inverse-transforms base rows.
+        """
+        if self.domain != COEFF:
+            raise LayoutError("mod_down requires the coefficient domain")
+        base = self.ctx.base_of_extension(num_aux)
+        kern = self.ctx.mod_down_kernel(num_aux)
+        out = np.empty((base.num_limbs, base.ring_degree), np.uint64)
+        kern.apply(self.limbs, out)
+        return RnsPolynomial(base, out, COEFF)
+
+    def plan_key_switch(self, ksk, *, output_domain: str = COEFF):
+        """The explicit NTT-domain schedule ``key_switch`` would execute.
+
+        The plan is the domain-state planner's output: built from this
+        polynomial's current domain (a cached coefficient twin makes the
+        input inverse free) and the requested output domain; its step
+        list and transform-row totals are inspectable, and passing it to
+        :meth:`key_switch` executes exactly those steps.
+        """
+        switcher = self.ctx.key_switcher(ksk.aux_primes, ksk.dnum)
+        return switcher.plan(self, output_domain)
+
+    def key_switch(
+        self, ksk, *, output_domain: str = COEFF, plan=None
+    ) -> tuple[RnsPolynomial, RnsPolynomial]:
+        """Hybrid key switching: the fused ModUp → NTT → MAC → ModDown
+        pipeline (§4.2/§4.3), returning the ``(c0, c1)`` pair.
+
+        Each limb digit is ModUp-extended onto ``Q ∪ P``, transformed
+        once, multiplied against the key pair through one batched
+        :class:`~repro.poly.lazy.LazyAccumulator` per half, and the
+        folded sums are ModDown-rescaled back to ``Q``.  All scheduling
+        follows the :class:`~repro.poly.basis_conv.KeySwitchPlan` (see
+        :meth:`plan_key_switch`): with ``output_domain="ntt"`` only the
+        auxiliary rows are ever inverse-transformed.
+        """
+        switcher = self.ctx.key_switcher(ksk.aux_primes, ksk.dnum)
+        if plan is None:
+            plan = switcher.plan(self, output_domain)
+        return switcher.run(self, ksk, plan)
 
     # -- CRT reconstruction (reference/tests; Python-int arithmetic) -------
     def to_int_coeffs(self, *, centered: bool = True) -> list[int]:

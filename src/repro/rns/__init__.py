@@ -9,6 +9,7 @@ from repro.rns.cycle import (
 from repro.rns.primes import (
     Prime,
     PrimePool,
+    digit_ranges,
     is_prime,
     ntt_friendly_primes,
     primitive_root_of_unity,
@@ -34,6 +35,7 @@ __all__ = [
     "RescalingCycle",
     "ShoupReducer",
     "SignedMontgomeryReducer",
+    "digit_ranges",
     "enumerate_moves",
     "find_rescaling_cycle",
     "is_prime",

@@ -18,7 +18,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from repro.errors import PrimeSearchError
+from repro.errors import ParameterError, PrimeSearchError
 
 _SMALL_PRIMES = (
     2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
@@ -185,6 +185,26 @@ def primitive_root_of_unity(order: int, modulus: int) -> int:
     raise PrimeSearchError(f"no primitive root of order {order} mod {modulus}")
 
 
+def digit_ranges(num_limbs: int, dnum: int) -> list[tuple[int, int]]:
+    """Hybrid key switching's limb-row digit partition.
+
+    The live limb basis (``num_limbs`` rows) splits into ``dnum``
+    contiguous digits of ``alpha = ceil(num_limbs / dnum)`` rows each
+    (the last digit may be shorter); each digit is ModUp-extended
+    independently during key switching.
+    """
+    if not 1 <= dnum <= num_limbs:
+        raise ParameterError(
+            f"dnum={dnum} must lie in [1, {num_limbs}] for a "
+            f"{num_limbs}-limb basis"
+        )
+    alpha = -(-num_limbs // dnum)
+    return [
+        (lo, min(lo + alpha, num_limbs))
+        for lo in range(0, num_limbs, alpha)
+    ]
+
+
 @dataclass
 class PrimePool:
     """Fixed, ordered prime lists backing one RNS construction.
@@ -242,6 +262,47 @@ class PrimePool:
                 f"main primes; asked for {num_terminal}/{num_main}"
             )
         return self.terminal[:num_terminal] + self.main[:num_main]
+
+    def extension_basis(
+        self, num_terminal: int, num_main: int, *, dnum: int = 1
+    ) -> list[Prime]:
+        """Auxiliary (P-part) primes for hybrid key switching.
+
+        Selects the shortest prefix of the pool's ``aux`` list whose
+        product strictly exceeds the largest digit modulus of the live
+        basis — the condition that keeps the key-switching ModDown's
+        rounding noise below one unit per digit (the P > max_d prod(D_d)
+        requirement); a shorter P would let the v-correction term
+        overflow the extension headroom.
+
+        Raises:
+            PrimeSearchError: when the pool's aux list cannot cover the
+                largest digit product (generate the pool with more
+                ``num_aux`` primes).
+        """
+        limbs = self.limb_primes(num_terminal, num_main)
+        ranges = digit_ranges(len(limbs), dnum)
+        max_digit = 1
+        for lo, hi in ranges:
+            prod = 1
+            for p in limbs[lo:hi]:
+                prod *= p.value
+            max_digit = max(max_digit, prod)
+        chosen: list[Prime] = []
+        p_prod = 1
+        for p in self.aux:
+            if p_prod > max_digit:
+                break
+            chosen.append(p)
+            p_prod *= p.value
+        if p_prod <= max_digit:
+            raise PrimeSearchError(
+                f"aux list ({len(self.aux)} primes, product ~2^"
+                f"{p_prod.bit_length() - 1}) cannot cover the largest "
+                f"digit modulus ~2^{max_digit.bit_length() - 1}; generate "
+                "the pool with more num_aux primes"
+            )
+        return chosen
 
     def assert_disjoint(self) -> None:
         values = [p.value for p in self.all_primes]

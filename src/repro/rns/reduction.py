@@ -308,9 +308,63 @@ class ShoupReducer:
         w = np.asarray(w, dtype=np.uint64)
         w_shoup = np.asarray(w_shoup, dtype=np.uint64)
         hi = mulhi32(a.astype(np.uint64), w_shoup)
-        q = align_rows(self.q, a.ndim)
+        # Align q to the *product's* rank, not a's: cross-basis uses push
+        # higher-rank constants (an (L_out, 1) column against 1-D data),
+        # and aligning to a.ndim would broadcast q along the wrong axis.
+        q = align_rows(self.q, max(np.ndim(a), w.ndim, w_shoup.ndim))
         r = (a.astype(np.uint64) * w - hi * q) & _U32
         return r
+
+    def mulmod_cross(
+        self,
+        x: np.ndarray,
+        w: np.ndarray,
+        w_shoup: np.ndarray,
+        *,
+        out: np.ndarray | None = None,
+        work: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Cross-basis product tensor: ``out[j, i] = x[i] * w[j, i] mod q_j``.
+
+        The fast-basis-conversion shape: ``(L_in, N)`` scaled residues
+        times an ``(L_out, L_in)`` constant matrix (``q_i_hat mod p_j``
+        with its per-row Shoup companions), producing the
+        ``(L_out, L_in, N)`` tensor of lazy products in ``[0, 2q_j)`` that
+        a deferred-fold accumulator then sums over axis 1.  Requires
+        batched mode with ``L_out`` moduli rows.
+
+        ``out`` and ``work`` are optional ``(L_out, L_in, N)`` uint64
+        scratch tensors (the converter preallocates them so the hot path
+        never allocates); the result lands in — and is returned as —
+        ``out``.
+        """
+        if not self.batched:
+            raise ParameterError(
+                "mulmod_cross needs a batched Shoup reducer (one modulus "
+                "row per output-basis prime)"
+            )
+        l_out = len(self.q_ints)
+        if x.ndim != 2 or w.shape != (l_out, x.shape[0]):
+            raise ParameterError(
+                f"mulmod_cross: data {x.shape} vs constants {w.shape} "
+                f"do not form an ({l_out}, L_in, N) cross product"
+            )
+        shape = (l_out, x.shape[0], x.shape[1])
+        if out is None:
+            out = np.empty(shape, dtype=np.uint64)
+        if work is None:
+            work = np.empty(shape, dtype=np.uint64)
+        x3 = x[None, :, :].astype(np.uint64, copy=False)
+        w3 = w.astype(np.uint64, copy=False)[:, :, None]
+        ws3 = w_shoup.astype(np.uint64, copy=False)[:, :, None]
+        q3 = align_rows(self.q, 3)
+        np.multiply(x3, ws3, out=work)
+        np.right_shift(work, _SHIFT32, out=work)  # hi = mulhi32(x, w')
+        np.multiply(work, q3, out=work)  # hi * q (low 64 bits)
+        np.multiply(x3, w3, out=out)  # x * w (exact, < 2^62)
+        np.subtract(out, work, out=out)
+        np.bitwise_and(out, _U32, out=out)  # in [0, 2q_j)
+        return out
 
     def reduce_strict(self, r: np.ndarray) -> np.ndarray:
         q = align_rows(self.q, np.ndim(r))

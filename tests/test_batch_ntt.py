@@ -160,3 +160,75 @@ def test_rejects_out_of_range_coefficients():
     bad[0, 0] = primes[0]  # q itself is not canonical
     with pytest.raises(ParameterError):
         batch.forward(bad)
+
+
+# -- row windows + extended bases share tables (PR 3) -----------------------
+def test_take_rows_window_bit_matches_fresh_engine(rng):
+    n = 64
+    primes = _basis(n)
+    batch = BatchNTT(primes, n, "shoup")
+    window = batch.take_rows(1, 3)
+    assert window.primes == primes[1:3]
+    fresh = BatchNTT(primes[1:3], n, "shoup", psis=batch.psis[1:3])
+    x = _random_limbs(primes[1:3], n, rng)
+    assert np.array_equal(window.forward(x), fresh.forward(x))
+    assert np.array_equal(window.inverse(x), fresh.inverse(x))
+    # Prepared rows are views into the parent tables, not copies.
+    assert window._fwd[0].base is batch._fwd[0]
+
+
+def test_take_rows_validation():
+    n = 16
+    batch = BatchNTT(_basis(n), n, "smr")
+    assert batch.take_rows(0, batch.num_limbs) is batch
+    with pytest.raises(ParameterError):
+        batch.take_rows(2, 2)
+    with pytest.raises(ParameterError):
+        batch.take_rows(0, batch.num_limbs + 1)
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_extend_bit_matches_fresh_combined_engine(method, rng):
+    n = 64
+    primes = _basis(n)
+    extra = [
+        p.value
+        for p in ntt_friendly_primes(
+            29, 2, n, exclude=set(primes), kind="aux"
+        )
+    ]
+    base = BatchNTT(primes, n, method)
+    ext = base.extend(extra)
+    fresh = BatchNTT(primes + extra, n, method, psis=ext.psis)
+    x = _random_limbs(primes + extra, n, rng)
+    assert np.array_equal(ext.forward(x), fresh.forward(x))
+    assert np.array_equal(ext.inverse(x), fresh.inverse(x))
+    # The shared rows reuse the base tables bit-for-bit.
+    assert np.array_equal(ext._fwd[0][: len(primes)], base._fwd[0])
+
+
+def test_extend_rejects_overlap():
+    n = 16
+    primes = _basis(n)
+    batch = BatchNTT(primes, n, "smr")
+    with pytest.raises(ParameterError, match="overlap"):
+        batch.extend([primes[0]])
+
+
+def test_transform_out_buffers(rng):
+    n = 64
+    primes = _basis(n)
+    batch = BatchNTT(primes, n, "smr")
+    x = _random_limbs(primes, n, rng)
+    expect = batch.forward(x)
+    out = np.empty_like(x)
+    got = batch.forward(x, out=out)
+    assert got is out and np.array_equal(out, expect)
+    # out may alias the input (enter() copies before any write).
+    buf = x.copy()
+    batch.forward(buf, out=buf)
+    assert np.array_equal(buf, expect)
+    inv = np.empty_like(x)
+    assert np.array_equal(
+        batch.inverse(expect, out=inv), batch.inverse(expect)
+    )

@@ -1,0 +1,71 @@
+"""Benchmark-harness unit tests: the --baseline regression gate.
+
+The timing loops themselves are exercised by CI's bench-smoke job; here
+the pure comparison logic is pinned — cell matching, the >25% median
+threshold, and tolerance of baselines recorded before medians existed.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+_BENCH = Path(__file__).resolve().parent.parent / "benchmarks" / "bench_poly.py"
+_spec = importlib.util.spec_from_file_location("bench_poly", _BENCH)
+bench_poly = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("bench_poly", bench_poly)
+_spec.loader.exec_module(bench_poly)
+
+
+def _cell(op="ntt_forward", n=1024, limbs=4, method="smr", med=1.0):
+    return {
+        "op": op,
+        "n": n,
+        "limbs": limbs,
+        "method": method,
+        "batched_s": med * 0.9,
+        "batched_med_s": med,
+        "looped_s": med * 4,
+        "looped_med_s": med * 5,
+    }
+
+
+def test_no_regression_within_threshold():
+    baseline = {"results": [_cell(med=1.0)]}
+    results = [_cell(med=1.2)]  # +20% < 25% threshold
+    assert bench_poly.compare_to_baseline(results, baseline) == []
+
+
+def test_regression_beyond_threshold_reported():
+    baseline = {"results": [_cell(med=1.0), _cell(op="rescale", med=0.5)]}
+    results = [_cell(med=1.3), _cell(op="rescale", med=0.55)]
+    regressions = bench_poly.compare_to_baseline(results, baseline)
+    assert len(regressions) == 1
+    assert "ntt_forward" in regressions[0]
+    assert "+30%" in regressions[0]
+
+
+def test_unrecorded_cells_are_skipped():
+    """New kernels and removed cells are not regressions."""
+    baseline = {"results": [_cell(op="old_kernel", med=0.001)]}
+    results = [_cell(op="key_switch", med=9.9)]
+    assert bench_poly.compare_to_baseline(results, baseline) == []
+
+
+def test_premedian_baselines_are_skipped():
+    old_style = _cell(med=0.0001)
+    del old_style["batched_med_s"]  # recorded before medians existed
+    baseline = {"results": [old_style]}
+    results = [_cell(med=5.0)]
+    assert bench_poly.compare_to_baseline(results, baseline) == []
+
+
+def test_threshold_is_configurable():
+    baseline = {"results": [_cell(med=1.0)]}
+    results = [_cell(med=1.2)]
+    assert bench_poly.compare_to_baseline(results, baseline, threshold=0.1)
+
+
+def test_faster_cells_never_flag():
+    baseline = {"results": [_cell(med=1.0)]}
+    results = [_cell(med=0.2)]
+    assert bench_poly.compare_to_baseline(results, baseline) == []

@@ -137,3 +137,64 @@ def test_multiply_accumulate_pricing():
     assert twice.int32_instrs == 2 * raw.int32_instrs
     # The rendered table includes the fused op.
     assert "multiply_accumulate" in model.table()
+
+
+# -- basis conversion / key switching pricing (PR 3) ------------------------
+def test_basis_convert_formula():
+    model = CostModel(64, 4, "smr")
+    op = model.basis_convert(4, 3)
+    n = 64
+    # scale + matrix + v-term + terminal fold, all Shoup-priced.
+    assert op.method == "shoup"
+    assert op.modmuls == n * (4 + 4 * 3 + 3 + 3)
+    assert op.raw_adds64 == n * (4 * 3 + 3)
+    assert op.twiddle_consts == 2 * 4 + 2 * 4 * 3 + 2 * 3
+    assert op.int32_instrs > 0
+    with pytest.raises(ParameterError):
+        model.basis_convert(0, 3)
+
+
+def test_mod_up_sums_digit_conversions():
+    model = CostModel(64, 4, "smr")
+    whole = model.mod_up(2, dnum=1)
+    split = model.mod_up(2, dnum=2)
+    # One digit: a single 4 -> 2 conversion.
+    assert whole.modmuls == model.basis_convert(4, 2).modmuls
+    # Two digits of 2 limbs each, onto the 4-row complement.
+    assert split.modmuls == 2 * model.basis_convert(2, 4).modmuls
+    with pytest.raises(ParameterError):
+        model.mod_up(2, dnum=5)
+
+
+def test_mod_down_adds_combine_lanes():
+    model = CostModel(64, 4, "smr")
+    conv = model.basis_convert(2, 4)
+    op = model.mod_down(2)
+    lanes = 64 * 4
+    assert op.modmuls == conv.modmuls + lanes
+    assert op.modadds == conv.modadds + lanes
+    with pytest.raises(ParameterError):
+        model.mod_down(0)
+
+
+def test_key_switch_composite_pricing():
+    model = CostModel(256, 8, "smr")
+    coeff = model.key_switch(3, dnum=2)
+    ntt_out = model.key_switch(3, dnum=2, output_domain="ntt")
+    # Conversion sub-kernels ride along pre-priced (Shoup chains).
+    assert coeff.extra_int32 > 0
+    assert coeff.extra_int32 == ntt_out.extra_int32
+    # The planner's point: NTT output inverse-transforms only aux rows,
+    # which is strictly cheaper than full extended inverses.
+    assert ntt_out.int32_instrs < coeff.int32_instrs
+    # scaled() carries the pre-priced component along.
+    assert coeff.scaled(2).extra_int32 == 2 * coeff.extra_int32
+    assert coeff.scaled(2).int32_instrs == 2 * coeff.int32_instrs
+    with pytest.raises(ParameterError):
+        model.key_switch(3, output_domain="fourier")
+
+
+def test_table_renders_new_kernels():
+    text = CostModel(64, 3, "smr").table()
+    for op in ("basis_convert", "mod_up", "mod_down", "key_switch"):
+        assert op in text

@@ -89,3 +89,59 @@ def test_other_prime_systems_still_solve():
     assert cycle.period >= 1
     for move in cycle.moves:
         assert 30 * move.main_delta + 24 * move.terminal_delta == 42
+
+
+# -- §3.2 alternative 24/30 prime system (PR 3 satellite) -------------------
+def test_24_30_system_delta_2_42():
+    """Δ = 2^42 needs the 24-30 system: 30m + 25t = 42 is unsolvable
+    (multiples of 5 only), while 30m + 24t = 42 is (gcd 6 | 42)."""
+    with pytest.raises(ParameterError):
+        find_rescaling_cycle(42)  # 25/30 cannot represent it
+    cycle = find_rescaling_cycle(42, main_bits=30, terminal_bits=24)
+    assert cycle.period >= 1
+    assert cycle.mains_consumed_per_period > 0
+
+
+def test_24_30_level_accounting():
+    cycle = find_rescaling_cycle(42, main_bits=30, terminal_bits=24)
+    base_main = 10
+    for level in range(3 * cycle.period):
+        assert cycle.terminal_count_at(level) == cycle.terminal_counts[
+            level % cycle.period
+        ]
+    full_period = cycle.main_count_at(cycle.period, base_main)
+    assert full_period == base_main + cycle.mains_consumed_per_period
+
+
+@pytest.mark.parametrize(
+    ("log_delta", "main_bits", "terminal_bits"),
+    [(40, 30, 25), (80, 30, 25), (42, 30, 24), (36, 30, 24), (54, 30, 24)],
+)
+def test_cycle_properties_hold(log_delta, main_bits, terminal_bits):
+    """Property test: every returned cycle satisfies the exact log
+    identity per move, a consistent terminal-count orbit, and the
+    peak-terminal bound."""
+    max_terminal = 6
+    cycle = find_rescaling_cycle(
+        log_delta,
+        main_bits=main_bits,
+        terminal_bits=terminal_bits,
+        max_terminal=max_terminal,
+    )
+    period = cycle.period
+    assert len(cycle.terminal_counts) == period
+    for i, move in enumerate(cycle.moves):
+        # Exact log identity: each rescale divides by exactly 2^log_delta.
+        assert (
+            main_bits * move.main_delta
+            + terminal_bits * move.terminal_delta
+            == log_delta
+        )
+        # Orbit consistency: the recorded counts follow the moves.
+        nxt = cycle.terminal_counts[i] + move.terminal_delta
+        assert nxt == cycle.terminal_counts[(i + 1) % period]
+        assert 0 <= nxt <= max_terminal
+    # Peak-terminal bound: never more live terminals than the search cap.
+    assert 0 <= cycle.peak_terminals <= max_terminal
+    # Net main consumption is positive (modulus grows with level).
+    assert cycle.mains_consumed_per_period > 0

@@ -173,3 +173,45 @@ def test_strategy_validation():
     raw = LazyAccumulator(smr, 4, strategy="raw")
     with pytest.raises(ParameterError):
         raw.accumulate_value(np.zeros(4, dtype=np.int64), max_abs=1)
+
+
+# -- fold_into: scratch-buffered terminal fold (PR 3) -----------------------
+@pytest.mark.parametrize("strategy", ["reduced", "raw"])
+def test_fold_into_matches_fold(strategy, rng):
+    smr = make_reducer("smr", Q_TERMINAL)
+    lanes = rng.integers(0, Q_TERMINAL, 8, dtype=np.uint64).astype(np.int64)
+    build = lambda: (  # noqa: E731
+        LazyAccumulator(smr, 8, strategy=strategy)
+        .accumulate_product(lanes, np.int64(12345))
+    )
+    expect = build().fold()
+    out = np.empty(8, np.uint64)
+    got = build().fold_into(out)
+    assert got is out
+    assert np.array_equal(out, expect)
+
+
+def test_fold_into_unsigned_and_validation(rng):
+    red = make_reducer("barrett", Q_TERMINAL)
+    values = rng.integers(0, Q_TERMINAL, 8, dtype=np.uint64)
+    acc = LazyAccumulator(red, 8).accumulate_value(values, Q_TERMINAL - 1)
+    expect = acc.fold()
+    acc2 = LazyAccumulator(red, 8).accumulate_value(values, Q_TERMINAL - 1)
+    out = np.empty(8, np.uint64)
+    assert np.array_equal(acc2.fold_into(out), expect)
+    with pytest.raises(ParameterError, match="buffer"):
+        acc2.fold_into(np.empty(7, np.uint64))  # wrong shape
+    with pytest.raises(ParameterError, match="buffer"):
+        acc2.fold_into(np.empty(8, np.int64))  # wrong dtype
+
+
+def test_fold_into_consumes_accumulator(rng):
+    """fold_into documents destructive semantics: reset before reuse."""
+    red = make_reducer("barrett", Q_TERMINAL)
+    acc = LazyAccumulator(red, 4)
+    acc.accumulate_value(np.full(4, 7, np.uint64), 7)
+    out = np.empty(4, np.uint64)
+    acc.fold_into(out)
+    acc.reset()
+    assert acc.terms == 0 and acc.bound == 0
+    assert np.all(acc.acc == 0)

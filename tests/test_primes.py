@@ -9,6 +9,7 @@ import pytest
 
 from repro.errors import PrimeSearchError
 from repro.rns.primes import (
+    PrimePool,
     is_prime,
     ntt_friendly_primes,
     primitive_root_of_unity,
@@ -93,3 +94,58 @@ def test_prime_log2_and_repr(pool64):
     assert abs(prime.log2 - 30) < 0.5
     assert repr(prime).startswith("m0:")
     assert int(prime) == prime.value
+
+
+# -- key-switching digit partition + aux basis (PR 3 satellite) -------------
+def test_digit_ranges_partition():
+    from repro.rns.primes import digit_ranges
+
+    assert digit_ranges(12, 3) == [(0, 4), (4, 8), (8, 12)]
+    assert digit_ranges(5, 2) == [(0, 3), (3, 5)]  # last digit shorter
+    assert digit_ranges(4, 1) == [(0, 4)]
+    assert digit_ranges(3, 3) == [(0, 1), (1, 2), (2, 3)]
+    ranges = digit_ranges(11, 4)
+    assert ranges[0][0] == 0 and ranges[-1][1] == 11
+    assert all(a[1] == b[0] for a, b in zip(ranges, ranges[1:]))
+
+
+def test_digit_ranges_validation():
+    from repro.errors import ParameterError
+    from repro.rns.primes import digit_ranges
+
+    with pytest.raises(ParameterError):
+        digit_ranges(4, 0)
+    with pytest.raises(ParameterError):
+        digit_ranges(4, 5)
+
+
+def test_extension_basis_covers_largest_digit():
+    from repro.rns.primes import digit_ranges
+
+    pool = PrimePool.generate(
+        64, num_main=4, num_terminal=2, num_aux=6
+    )
+    for dnum in (1, 2, 3):
+        aux = pool.extension_basis(2, 4, dnum=dnum)
+        limbs = pool.limb_primes(2, 4)
+        max_digit = 1
+        for lo, hi in digit_ranges(len(limbs), dnum):
+            prod = 1
+            for p in limbs[lo:hi]:
+                prod *= p.value
+            max_digit = max(max_digit, prod)
+        p_prod = 1
+        for p in aux:
+            p_prod *= p.value
+        assert p_prod > max_digit, "P must dominate the largest digit"
+        # Minimality: the shortest covering prefix is chosen.
+        if len(aux) > 1:
+            assert (p_prod // aux[-1].value) <= max_digit
+        # Always a prefix of the pool's fixed aux list.
+        assert aux == pool.aux[: len(aux)]
+
+
+def test_extension_basis_exhausted_aux_raises(pool64):
+    # pool64 holds a single aux prime: nowhere near a 5-limb digit.
+    with pytest.raises(PrimeSearchError, match="cannot cover"):
+        pool64.extension_basis(2, 3, dnum=1)

@@ -279,3 +279,98 @@ def test_multiply_accumulate_validation(ctx, rng):
     other = PolyContext(ctx.ring_degree, ctx.primes, "shoup")
     with pytest.raises(ParameterError):
         RnsPolynomial.multiply_accumulate([a], [other.random(rng).to_ntt()])
+
+
+# -- transform twin caching (PR 3 satellite) --------------------------------
+def test_to_ntt_caches_twin(ctx, rng):
+    a = ctx.random(rng)
+    a_hat = a.to_ntt()
+    assert a.to_ntt() is a_hat  # second transform is the cached twin
+    assert a_hat.to_coeff() is a  # and the link is bidirectional
+    assert np.array_equal(a_hat.limbs, ctx.batch_ntt.forward(a.limbs))
+
+
+def test_to_coeff_caches_twin(ctx, rng):
+    from repro.poly.rns_poly import RnsPolynomial
+
+    a_hat = RnsPolynomial(ctx, ctx.batch_ntt.forward(ctx.random(rng).limbs),
+                          NTT)
+    a = a_hat.to_coeff()
+    assert a_hat.to_coeff() is a
+    assert a.to_ntt() is a_hat
+
+
+def test_same_domain_transform_is_identity(ctx, rng):
+    a = ctx.random(rng)
+    assert a.to_coeff() is a
+    a_hat = a.to_ntt()
+    assert a_hat.to_ntt() is a_hat
+
+
+# -- in-place mutation must invalidate caches (PR 3 satellite) --------------
+def test_inplace_ops_match_functional(ctx, rng):
+    a, b = ctx.random(rng), ctx.random(rng)
+    expect_add = a.add(b)
+    mut = ctx.zeros().add_(a).add_(b)
+    assert np.array_equal(mut.limbs, expect_add.limbs)
+    expect_sub = a.sub(b)
+    mut = ctx.zeros().add_(a).sub_(b)
+    assert np.array_equal(mut.limbs, expect_sub.limbs)
+    expect_neg = a.negate()
+    mut = ctx.zeros().add_(a).negate_()
+    assert np.array_equal(mut.limbs, expect_neg.limbs)
+
+
+def test_inplace_mutation_drops_prepared_handle(ctx, rng):
+    """Regression: a stale prepared operand must not survive mutation.
+
+    Before the fix, mutating the limb matrix in place left the cached
+    backend-prepared handle serving the *old* values to every subsequent
+    pointwise product.
+    """
+    a_hat = ctx.random(rng).to_ntt()
+    b_hat = ctx.random(rng).to_ntt()
+    _ = a_hat.pointwise_multiply(b_hat)  # fills b_hat._prepared
+    assert b_hat._prepared is not None
+    b_hat.negate_()
+    assert b_hat._prepared is None
+    got = a_hat.pointwise_multiply(b_hat)
+    from repro.poly.rns_poly import RnsPolynomial
+
+    fresh = RnsPolynomial(ctx, b_hat.limbs.copy(), NTT)
+    assert np.array_equal(got.limbs, a_hat.pointwise_multiply(fresh).limbs)
+
+
+def test_inplace_mutation_severs_twin_link(ctx, rng):
+    a = ctx.random(rng)
+    a_hat = a.to_ntt()
+    a.add_(ctx.random(rng))
+    # Neither side may keep serving the stale transform.
+    assert a._twin is None and a_hat._twin is None
+    new_hat = a.to_ntt()
+    assert new_hat is not a_hat
+    assert np.array_equal(new_hat.limbs, ctx.batch_ntt.forward(a.limbs))
+
+
+def test_inplace_on_twin_invalidates_both_sides(ctx, rng):
+    a = ctx.random(rng)
+    a_hat = a.to_ntt()
+    a_hat.negate_()  # mutate the cached twin, not the original
+    assert a._twin is None
+    assert np.array_equal(a.to_ntt().limbs, ctx.batch_ntt.forward(a.limbs))
+
+
+def test_multiply_result_carries_no_twin(ctx, rng):
+    """Regression: a product chain must not pin an NTT-domain copy of
+    every intermediate through the twin link (memory, ref cycles)."""
+    a, b = ctx.random(rng), ctx.random(rng)
+    prod = a * b
+    assert prod._twin is None
+    # The operands keep their twins — repeat products stay cheap.
+    assert a._twin is not None and b._twin is not None
+    assert np.array_equal(
+        prod.limbs,
+        ctx.batch_ntt.inverse(
+            a.to_ntt().pointwise_multiply(b.to_ntt()).limbs
+        ),
+    )
