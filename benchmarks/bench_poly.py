@@ -3,8 +3,9 @@
 
 Times the polynomial-layer hot paths the paper's limb-parallel pitch
 lives or dies on — forward NTT, full negacyclic multiply, exact rescale,
-and (since PR 3) fast basis conversion (ModUp / ModDown) and the fused
-hybrid key switch — in two implementations each:
+fast basis conversion (ModUp / ModDown), the fused hybrid key switch,
+and (since PR 4) the scheme-layer composites HMult(+relinearize),
+rotate, and hoisted multi-rotation — in two implementations each:
 
 * ``batched``: the :class:`~repro.poly.batch_ntt.BatchNTT` /
   :class:`~repro.poly.basis_conv.BasisConverter` pipeline
@@ -17,7 +18,9 @@ hybrid key switch — in two implementations each:
   pipeline eliminated.
 
 Every cell is cross-checked for bit-equality before it is timed (the
-conversion cells additionally against an exact big-int CRT reference),
+conversion cells additionally against an exact big-int CRT reference;
+the ``hoisted_rotate`` cell against per-index independent rotations —
+the shared-ModUp fast path must be bit-identical, not just close),
 the grid spans ``N in {1024, 4096} x L in {4, 12}`` across all four
 Table-3 reducer backends, and the results land in ``BENCH_poly.json``
 at the repository root.  Cells record best-of and median-of-repeats
@@ -48,8 +51,15 @@ sys.path.insert(0, str(_REPO_ROOT / "src"))
 import numpy as np  # noqa: E402
 
 from repro.poly.basis_conv import KeySwitchKey  # noqa: E402
+from repro.poly.ntt import automorphism_tables  # noqa: E402
 from repro.poly.rns_poly import PolyContext, RnsPolynomial  # noqa: E402
 from repro.rns.primes import digit_ranges, ntt_friendly_primes  # noqa: E402
+from repro.scheme import (  # noqa: E402
+    Ciphertext,
+    Evaluator,
+    KeyGenerator,
+    galois_element,
+)
 
 METHODS = ("barrett", "montgomery", "shoup", "smr")
 FULL_GRID = [(1024, 4), (1024, 12), (4096, 4), (4096, 12)]
@@ -230,6 +240,72 @@ def _looped_key_switch(
     return halves[0], halves[1]
 
 
+def _looped_hmult(
+    ctx: PolyContext, rlk: KeySwitchKey, a0, a1, b0, b1
+) -> tuple[np.ndarray, np.ndarray]:
+    """Naive HMult+relinearize: four per-prime looped multiplies for the
+    tensor, the looped key switch for the degree-2 part, modular adds."""
+    q = ctx.moduli
+    t0 = _looped_multiply(ctx, a0, b0)
+    x = _looped_multiply(ctx, a0, b1)
+    y = _looped_multiply(ctx, a1, b0)
+    s = x + y
+    t1 = np.where(s >= q, s - q, s)
+    t2 = _looped_multiply(ctx, a1, b1)
+    d0, d1 = _looped_key_switch(ctx, rlk, t2)
+    s = t0 + d0
+    c0 = np.where(s >= q, s - q, s)
+    s = t1 + d1
+    c1 = np.where(s >= q, s - q, s)
+    return c0, c1
+
+
+def _looped_rotate(
+    ctx: PolyContext, gk: KeySwitchKey, k: int, c0, c1
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-prime hoisted-schedule rotation: looped ModUp + per-prime
+    forward per digit, the NTT-domain Galois slot permutation, per-prime
+    MAC / inverse, looped ModDown, then the coeff-domain sigma on c0."""
+    n = ctx.ring_degree
+    src, neg, perm = automorphism_tables(n, k)
+    ext_ctx = gk.ext_ctx
+    primes, aux = ctx.primes, gk.aux_primes
+    ext_digits = []
+    for lo, hi in digit_ranges(ctx.num_limbs, gk.dnum):
+        digit_primes = primes[lo:hi]
+        others = primes[:lo] + primes[hi:] + aux
+        conv = _looped_convert(digit_primes, others, c1[lo:hi])
+        ext = np.empty((ext_ctx.num_limbs, n), np.uint64)
+        ext[:lo] = conv[:lo]
+        ext[lo:hi] = c1[lo:hi]
+        ext[hi:] = conv[lo:]
+        hat = np.empty_like(ext)
+        for i, ntt in enumerate(ext_ctx.ntts):
+            hat[i] = ntt.forward(ext[i])
+        ext_digits.append(hat[:, perm])
+    halves = []
+    for half in range(2):
+        acc = np.zeros((ext_ctx.num_limbs, n), np.uint64)
+        for d, hat in enumerate(ext_digits):
+            key = gk.pairs[d][half]
+            for i, ntt in enumerate(ext_ctx.ntts):
+                prod = ntt.pointwise(hat[i], key.limbs[i])
+                s = acc[i] + prod
+                q = np.uint64(ext_ctx.primes[i])
+                acc[i] = np.where(s >= q, s - q, s)
+        for i, ntt in enumerate(ext_ctx.ntts):
+            acc[i] = ntt.inverse(acc[i])
+        halves.append(_looped_mod_down(primes, aux, acc))
+    d0, d1 = halves
+    rc0 = np.empty_like(c0)
+    for i, q in enumerate(primes):
+        row = c0[i][src]
+        rc0[i] = np.where(neg & (row != 0), np.uint64(q) - row, row)
+    qcol = ctx.moduli
+    s = rc0 + d0
+    return np.where(s >= qcol, s - qcol, s), d1
+
+
 def bench_config(
     n: int, num_limbs: int, method: str, repeats: int, rng
 ) -> list[dict]:
@@ -342,6 +418,72 @@ def bench_config(
         lambda: a.key_switch(ksk),
         lambda: _looped_key_switch(ctx, ksk, a.limbs),
     )
+
+    # scheme-layer composites: HMult(+relin), rotate, hoisted rotations --
+    rotations = (1, 2, 3, 5)
+    keygen = KeyGenerator(ctx, aux, dnum, rng)
+    ev = Evaluator.from_keygen(keygen, rotations=rotations)
+    a0l, a1l = a.limbs, b.limbs
+    b0l, b1l = ctx.random(rng).limbs, ctx.random(rng).limbs
+
+    def fresh_ct(l0, l1):
+        # Fresh wrappers per call, like the multiply cell: the twin and
+        # prepared caches would otherwise hide the transforms.
+        return Ciphertext(
+            RnsPolynomial(ctx, l0), RnsPolynomial(ctx, l1), scale=1.0
+        )
+
+    def fused_hmult():
+        return ev.multiply(fresh_ct(a0l, a1l), fresh_ct(b0l, b1l))
+
+    rlk = keygen.relinearization_key()
+    got = fused_hmult()
+    lc0, lc1 = _looped_hmult(ctx, rlk, a0l, a1l, b0l, b1l)
+    assert np.array_equal(got.c0.limbs, lc0), "hmult c0 paths disagree"
+    assert np.array_equal(got.c1.limbs, lc1), "hmult c1 paths disagree"
+    cell(
+        "hmult",
+        fused_hmult,
+        lambda: _looped_hmult(ctx, rlk, a0l, a1l, b0l, b1l),
+    )
+
+    k3 = galois_element(3, n)
+    gk3 = keygen.galois_key(k3)
+
+    def fused_rotate():
+        return ev.rotate(fresh_ct(a0l, a1l), 3)
+
+    got = fused_rotate()
+    lc0, lc1 = _looped_rotate(ctx, gk3, k3, a0l, a1l)
+    assert np.array_equal(got.c0.limbs, lc0), "rotate c0 paths disagree"
+    assert np.array_equal(got.c1.limbs, lc1), "rotate c1 paths disagree"
+    cell(
+        "rotate",
+        fused_rotate,
+        lambda: _looped_rotate(ctx, gk3, k3, a0l, a1l),
+    )
+
+    # Hoisted multi-rotation: "batched" shares one ModUp + extended NTT
+    # across all indices; the reference is the same evaluator rotating
+    # per index independently.  Bit-identity asserted before timing is
+    # the acceptance bar: the fast path may not drift semantically.
+    def hoisted():
+        return ev.rotate_hoisted(fresh_ct(a0l, a1l), rotations)
+
+    def independent():
+        ct = fresh_ct(a0l, a1l)
+        return [ev.rotate(ct, r) for r in rotations]
+
+    shared = hoisted()
+    per_index = independent()
+    for r, ind in zip(rotations, per_index):
+        assert np.array_equal(shared[r].c0.limbs, ind.c0.limbs), (
+            "hoisted rotation c0 differs from independent"
+        )
+        assert np.array_equal(shared[r].c1.limbs, ind.c1.limbs), (
+            "hoisted rotation c1 differs from independent"
+        )
+    cell("hoisted_rotate", hoisted, independent)
 
     for c in cells:
         c.update(

@@ -1,8 +1,10 @@
 """Bit-faithful reproduction of the paper's RNS-CKKS arithmetic stack.
 
-Subpackages: :mod:`repro.rns` (primes, reducers, rescaling cycles) and
+Subpackages: :mod:`repro.rns` (primes, reducers, rescaling cycles),
 :mod:`repro.poly` (negacyclic NTT, RNS polynomials, lazy reduction, cost
-model).  See README.md for the architecture map.
+model) and :mod:`repro.scheme` (RLWE keys, ciphertexts, the homomorphic
+evaluator and its composite cost model).  See README.md for the
+architecture map.
 """
 
 from repro.errors import CheddarError

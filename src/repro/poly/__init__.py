@@ -28,10 +28,17 @@ from repro.poly.cost import (
 from repro.poly.lazy import LazyAccumulator
 from repro.poly.ntt import (
     NegacyclicNTT,
+    automorphism_tables,
     bit_reverse_permutation,
     make_ntt_backend,
 )
-from repro.poly.rns_poly import COEFF, NTT, PolyContext, RnsPolynomial
+from repro.poly.rns_poly import (
+    COEFF,
+    NTT,
+    LimbState,
+    PolyContext,
+    RnsPolynomial,
+)
 
 __all__ = [
     "COEFF",
@@ -45,12 +52,14 @@ __all__ = [
     "KeySwitchPlan",
     "KeySwitcher",
     "LazyAccumulator",
+    "LimbState",
     "ModDown",
     "ModUp",
     "NegacyclicNTT",
     "OpCost",
     "PolyContext",
     "RnsPolynomial",
+    "automorphism_tables",
     "bit_reverse_permutation",
     "compare_methods",
     "make_ntt_backend",

@@ -543,7 +543,7 @@ class KeySwitcher:
             raise LayoutError(f"unknown output domain {output_domain!r}")
         steps: list[tuple[str, int]] = []
         if poly.domain == NTT:
-            if poly._twin is not None:
+            if poly.state.twin is not None:
                 steps.append(("reuse_coeff", 0))
             else:
                 steps.append(("intt_input", self.ctx.num_limbs))
@@ -567,6 +567,79 @@ class KeySwitcher:
             self.dnum,
             tuple(steps),
         )
+
+    # -- hoisting (shared ModUp across rotations) --------------------------
+    def hoist(self, poly) -> np.ndarray:
+        """Shared ModUp: extend + forward-transform every digit once.
+
+        Returns the ``(dnum, L+K, N)`` NTT-domain extended digit tensor.
+        A Galois automorphism acts on this tensor as a *pure* NTT-domain
+        slot permutation per digit — ``sigma_k`` of the integer digit
+        lift commutes with reduction mod every extended prime — so one
+        ModUp + transform pass (the expensive front of a key switch)
+        serves every rotation index; :meth:`run_hoisted` finishes each
+        rotation from here.  This is the Halevi–Shoup hoisting trick on
+        top of the hybrid pipeline.
+        """
+        if not self.ctx.compatible(poly.ctx):
+            raise ParameterError("polynomial context does not match switcher")
+        coeff_limbs = poly.to_coeff().limbs
+        hoisted = np.empty(
+            (self.dnum, self.num_ext, self.ctx.ring_degree), np.uint64
+        )
+        for d, (lo, hi) in enumerate(self.digits):
+            self.modups[d].apply(coeff_limbs[lo:hi], self._ext_buf)
+            self.ext_ctx.batch_ntt.forward(self._ext_buf, out=hoisted[d])
+        return hoisted
+
+    def run_hoisted(
+        self,
+        hoisted: np.ndarray,
+        ksk: KeySwitchKey,
+        *,
+        perm: np.ndarray | None = None,
+    ):
+        """MAC + fold + ModDown of one key against hoisted digits.
+
+        ``perm``, when given, is an NTT-domain slot gather (e.g.
+        ``automorphism_tables(N, k)[2]``) applied to every digit row
+        before the MAC — the only per-rotation work ahead of the output
+        transforms.  Returns the coefficient-domain ``(c0, c1)`` pair
+        (rotations are followed by adds/rescales, which want coeff).
+
+        A single rotation *is* ``run_hoisted(hoist(c1), ksk, perm=...)``
+        — the production rotate path executes exactly this — so hoisted
+        and independent rotations are bit-identical by construction.
+        """
+        self._check_key(ksk)
+        expect = (self.dnum, self.num_ext, self.ctx.ring_degree)
+        if np.shape(hoisted) != expect:
+            raise LayoutError(
+                f"hoisted digit tensor {np.shape(hoisted)} != {expect}"
+            )
+        from repro.poly.rns_poly import COEFF, RnsPolynomial
+
+        c0, c1 = self._c
+        for acc in self._accs:
+            acc.reset()
+        for d in range(self.dnum):
+            if perm is None:
+                a_hat = hoisted[d]
+            else:
+                a_hat = np.take(hoisted[d], perm, axis=1, out=self._ahat)
+            self._mac(a_hat, ksk, d)
+        self._accs[0].fold_into(c0)
+        self._accs[1].fold_into(c1)
+        ext_batch = self.ext_ctx.batch_ntt
+        ext_batch.inverse(c0, out=c0)
+        ext_batch.inverse(c1, out=c1)
+        num_base = self.ctx.num_limbs
+        out_polys = []
+        for c in (c0, c1):
+            out = np.empty((num_base, self.ctx.ring_degree), np.uint64)
+            self.moddown.apply(c, out)
+            out_polys.append(RnsPolynomial(self.ctx, out, COEFF))
+        return out_polys[0], out_polys[1]
 
     # -- execution ---------------------------------------------------------
     def _check_key(self, ksk: KeySwitchKey) -> None:

@@ -61,6 +61,7 @@ from repro.errors import ParameterError
 from repro.poly.ntt import (
     _power_table,
     _range_error,
+    automorphism_tables,
     bit_reverse_permutation,
     make_ntt_backend,
 )
@@ -293,6 +294,48 @@ class BatchNTT:
     def negacyclic_multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """``a * b mod (x^N + 1)`` per limb, via forward/pointwise/inverse."""
         return self.inverse(self.pointwise(self.forward(a), self.forward(b)))
+
+    # -- Galois automorphisms ----------------------------------------------
+    def automorphism_coeff(
+        self, a: np.ndarray, k: int, *, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Coefficient-domain ``sigma_k: X -> X^k`` on an (L, N) matrix.
+
+        One signed index permutation per limb row — a gather through the
+        cached per-``(N, k)`` tables (:func:`automorphism_tables`) plus a
+        conditional negation of the wrapped columns; no transform, no
+        multiplies.  The same column pattern applies to every limb row
+        because ``sigma_k`` permutes *integer* coefficients: the sign
+        flip commutes with reduction mod each ``q_i``.
+        """
+        self._check_shape(a, "automorphism")
+        src, neg, _ = automorphism_tables(self.n, k)
+        a = np.asarray(a, dtype=np.uint64)
+        if out is None:
+            out = np.empty_like(a)
+        np.take(a, src, axis=1, out=out)
+        q = np.array(self.primes, dtype=np.uint64).reshape(-1, 1)
+        cols = out[:, neg]
+        out[:, neg] = np.where(cols == 0, cols, q - cols)
+        return out
+
+    def automorphism_ntt(
+        self, a_hat: np.ndarray, k: int, *, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """NTT-domain ``sigma_k`` on an (L, N) matrix: a pure permutation.
+
+        Multiplication by ``k`` permutes the odd evaluation exponents mod
+        ``2N`` among themselves, so the whole action is one slot gather
+        per limb row — no sign corrections and no transform round trip
+        (the hoisted-rotation fast path lives on this).
+        """
+        self._check_shape(a_hat, "automorphism")
+        _, _, perm = automorphism_tables(self.n, k)
+        a_hat = np.asarray(a_hat, dtype=np.uint64)
+        if out is None:
+            out = np.empty_like(a_hat)
+        np.take(a_hat, perm, axis=1, out=out)
+        return out
 
 
 # ---------------------------------------------------------------------------

@@ -355,6 +355,22 @@ class CostModel:
             extra_int32=extra,
         )
 
+    def automorphism(self, domain: str = "coeff") -> OpCost:
+        """Galois ``sigma_k`` on all limbs: cached index-permutation passes.
+
+        The coefficient-domain action pays one conditional negation per
+        lane for the wrapped columns (priced as a modadd); the
+        NTT-domain action is a *pure* slot permutation — zero arithmetic
+        on the int32 datapath (only memory traffic, which this model
+        does not price).  Either way there are no modmuls and no table
+        constants: the per-``(N, k)`` index tables are integer metadata,
+        not modular constants.
+        """
+        if domain not in ("coeff", "ntt"):
+            raise ParameterError(f"unknown domain {domain!r}")
+        modadds = self.n * self.num_limbs if domain == "coeff" else 0
+        return OpCost("automorphism", self.method, modmuls=0, modadds=modadds)
+
     def rescale(self) -> OpCost:
         """Exact rescale: per surviving limb, N subtracts and N modmuls."""
         limbs = self.num_limbs - 1

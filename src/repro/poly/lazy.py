@@ -213,11 +213,26 @@ class LazyAccumulator:
         remainder runs *in place on the accumulator*, so the accumulator
         state is consumed: call :meth:`reset` before accumulating again.
         ``out`` must be a uint64 array of the accumulator's shape.
+
+        Raises:
+            ParameterError: if ``out`` overlaps the accumulator storage.
+                The in-place remainder would read half-folded values
+                through the alias and corrupt the result silently — the
+                evaluator's relinearize-then-rescale chains fold into
+                per-kernel scratch, and this guard is what keeps a
+                mis-shared scratch buffer from slipping through.
         """
         if out.shape != self.acc.shape or out.dtype != np.uint64:
             raise ParameterError(
                 f"fold_into needs a uint64 {self.acc.shape} buffer, got "
                 f"{out.dtype} {out.shape}"
+            )
+        if np.shares_memory(out, self.acc):
+            raise ParameterError(
+                "fold_into output aliases the accumulator scratch: the "
+                "terminal remainder runs in place on the accumulator "
+                "before the copy-out, so an aliased buffer would read "
+                "partially-folded state; pass a distinct buffer"
             )
         acc = self.acc
         if self.strategy == "raw":

@@ -77,6 +77,64 @@ def bit_reverse_permutation(n: int) -> np.ndarray:
     return rev
 
 
+def automorphism_tables(
+    n: int, k: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Cached per ``(N, k)`` index tables for the Galois map ``X -> X^k``.
+
+    ``k`` must be odd (i.e. coprime to ``2N``), so ``sigma_k`` is a ring
+    automorphism of ``Z[X]/(X^N + 1)``.  Returns three read-only arrays:
+
+    * ``coeff_src`` — coefficient-domain gather indices: output
+      coefficient ``j`` reads input coefficient ``coeff_src[j]``;
+    * ``coeff_neg`` — boolean mask of output coefficients that pick up a
+      sign flip (``X^{ik}`` wrapped past ``X^N = -1`` an odd number of
+      times);
+    * ``ntt_perm`` — NTT-domain gather indices in the engines'
+      bit-reversed evaluation ordering: slot ``t`` of the output reads
+      slot ``ntt_perm[t]`` of the input.  The evaluation points
+      ``psi^(2j+1)`` are the odd powers of ``psi``, and multiplication
+      by ``k`` permutes the odd residues mod ``2N`` among themselves, so
+      the NTT-domain action is a *pure* permutation — no transform round
+      trip and no sign corrections.
+
+    ``k`` is reduced mod ``2N`` first, so ``sigma_k`` composition tests
+    can pass products directly.
+    """
+    if n <= 0 or n & (n - 1):
+        raise ParameterError(f"automorphism needs a power-of-two N, got {n}")
+    k %= 2 * n
+    if k % 2 == 0:
+        raise ParameterError(
+            f"Galois element {k} is even: X -> X^k is only an "
+            f"automorphism for k coprime to 2N (odd k)"
+        )
+    return _automorphism_tables(n, k)
+
+
+@lru_cache(maxsize=128)
+def _automorphism_tables(
+    n: int, k: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The cached body of :func:`automorphism_tables` (``k`` reduced)."""
+    idx = np.arange(n, dtype=np.int64)
+    exp = (idx * k) % (2 * n)
+    wrap = exp >= n  # X^e with e >= N folds to -X^(e-N)
+    dest = np.where(wrap, exp - n, exp)
+    coeff_src = np.empty(n, dtype=np.int64)
+    coeff_src[dest] = idx  # invert the scatter into a gather
+    coeff_neg = wrap[coeff_src]
+    brv = bit_reverse_permutation(n)
+    # Slot t evaluates at psi^(2*brv[t]+1); sigma_k(a) there equals a at
+    # psi^((2*brv[t]+1)*k), which lives in slot brv[((e*k)-1)/2] (bit
+    # reversal is an involution).
+    src_exp = ((2 * brv + 1) * k) % (2 * n)
+    ntt_perm = brv[(src_exp - 1) // 2]
+    for arr in (coeff_src, coeff_neg, ntt_perm):
+        arr.flags.writeable = False
+    return coeff_src, coeff_neg, ntt_perm
+
+
 class _UnsignedBackend:
     """Shared butterfly arithmetic for the [0, 2q)-output reducers.
 

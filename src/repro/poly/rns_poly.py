@@ -40,6 +40,65 @@ COEFF = "coeff"
 NTT = "ntt"
 
 
+class LimbState:
+    """Explicit domain / level / scale state for one ring element.
+
+    Earlier PRs kept this state implicit and scattered: the domain string
+    and the two derived-data caches (the backend-prepared operand and the
+    coeff/NTT transform *twin*) lived as private attributes on
+    :class:`RnsPolynomial` with ad-hoc invalidation, and level/scale did
+    not exist at all.  ``LimbState`` lifts that bookkeeping into one
+    explicit object that :class:`RnsPolynomial` and the scheme layer's
+    :class:`~repro.scheme.ciphertext.Ciphertext` both carry, and
+    :meth:`invalidate` is the *single* path that drops every cache
+    derived from the limb values.
+
+    Attributes:
+        domain: ``"coeff"`` or ``"ntt"`` — how the limb matrix is to be
+            interpreted.
+        level: number of live limbs.  Derived from the owning context at
+            construction (``RnsPolynomial`` always sets it to
+            ``ctx.num_limbs``; a rescale *constructs* the lower level
+            rather than decrementing in place); stored explicitly so the
+            scheme layer's ``Ciphertext`` carries the same state shape
+            and can refuse operations on mismatched levels.
+        scale: the CKKS scaling factor Delta carried by the element.
+            Passive metadata at the polynomial layer (linear ops keep it,
+            products multiply it, rescaling divides it by the dropped
+            prime); the scheme layer enforces its semantics.
+        prepared: cached backend-prepared operand handle (or ``None``).
+        twin: the cached transform twin polynomial (or ``None``); the
+            link is bidirectional, ``twin.state.twin`` points back.
+    """
+
+    __slots__ = ("domain", "level", "scale", "prepared", "twin")
+
+    def __init__(self, domain: str, level: int, scale: float = 1.0) -> None:
+        if domain not in (COEFF, NTT):
+            raise LayoutError(f"unknown domain {domain!r}")
+        if level < 1:
+            raise LevelError(f"level must be >= 1, got {level}")
+        self.domain = domain
+        self.level = int(level)
+        self.scale = float(scale)
+        self.prepared: tuple[np.ndarray, ...] | None = None
+        self.twin = None  # the twin RnsPolynomial, when cached
+
+    def invalidate(self) -> None:
+        """The one invalidation path: drop caches derived from limb values.
+
+        The prepared handle is derived data; the twin link is
+        bidirectional, so the twin's back-pointer is severed too — the
+        twin's own limbs stay valid, it just no longer mirrors this
+        element.  Every in-place mutation funnels through here.
+        """
+        self.prepared = None
+        twin = self.twin
+        self.twin = None
+        if twin is not None:
+            twin.state.twin = None
+
+
 class PolyContext:
     """Limb basis + ring degree + reduction method for RNS polynomials.
 
@@ -290,12 +349,47 @@ class PolyContext:
             col([(q - q_last % q) % q for q in live]),  # -q_last mod q_i
         )
 
+    def mismatch_reason(self, other: PolyContext) -> str | None:
+        """The first field on which two contexts differ, named — or ``None``.
+
+        Distinguishes a *level* mismatch (one limb basis is a prefix of
+        the other, i.e. the operands sit at different points of the same
+        rescaling chain) from a genuine *basis* mismatch (different
+        primes at some row), from ring-degree and reduction-method
+        mismatches — so "incompatible contexts" errors say which field
+        to fix.
+        """
+        if self.ring_degree != other.ring_degree:
+            return (
+                f"ring degree mismatch: N={self.ring_degree} vs "
+                f"N={other.ring_degree}"
+            )
+        if self.method != other.method:
+            return (
+                f"reduction method mismatch: {self.method!r} vs "
+                f"{other.method!r}"
+            )
+        if self.primes != other.primes:
+            m = min(len(self.primes), len(other.primes))
+            if self.primes[:m] == other.primes[:m]:
+                return (
+                    f"level mismatch: {len(self.primes)} vs "
+                    f"{len(other.primes)} live limbs of the same basis "
+                    "chain (rescale the higher-level operand down)"
+                )
+            i = next(
+                i
+                for i, (p, q) in enumerate(zip(self.primes, other.primes))
+                if p != q
+            )
+            return (
+                f"limb basis mismatch at row {i}: prime "
+                f"{self.primes[i]} vs {other.primes[i]}"
+            )
+        return None
+
     def compatible(self, other: PolyContext) -> bool:
-        return (
-            self.ring_degree == other.ring_degree
-            and self.primes == other.primes
-            and self.method == other.method
-        )
+        return self.mismatch_reason(other) is None
 
     # -- constructors ------------------------------------------------------
     def zeros(self) -> RnsPolynomial:
@@ -337,18 +431,27 @@ class RnsPolynomial:
     lets ``to_ntt``/``to_coeff`` cache each other's result (the *twin*):
     transforming the same polynomial twice costs one transform.  The
     sanctioned exception is the in-place mutator family (``add_`` /
-    ``sub_`` / ``negate_``), which writes into ``limbs`` and drops both
-    caches — mutating ``limbs`` behind the object's back instead leaves
-    stale prepared/twin handles serving wrong answers.
+    ``sub_`` / ``negate_``), which writes into ``limbs`` and funnels
+    through :meth:`LimbState.invalidate` — mutating ``limbs`` behind the
+    object's back instead leaves stale prepared/twin handles serving
+    wrong answers.
+
+    Domain, level, scale and the cache handles all live in one explicit
+    :class:`LimbState` (``self.state``) shared structurally with the
+    scheme layer's ``Ciphertext``; ``domain`` stays readable as a
+    property.
     """
 
-    __slots__ = ("ctx", "limbs", "domain", "_prepared", "_twin")
+    __slots__ = ("ctx", "limbs", "state")
 
     def __init__(
-        self, ctx: PolyContext, limbs: np.ndarray, domain: str = COEFF
+        self,
+        ctx: PolyContext,
+        limbs: np.ndarray,
+        domain: str = COEFF,
+        *,
+        scale: float = 1.0,
     ) -> None:
-        if domain not in (COEFF, NTT):
-            raise LayoutError(f"unknown domain {domain!r}")
         if limbs.shape != (ctx.num_limbs, ctx.ring_degree):
             raise LayoutError(
                 f"limb array {limbs.shape} != "
@@ -356,17 +459,40 @@ class RnsPolynomial:
             )
         self.ctx = ctx
         self.limbs = limbs.astype(np.uint64, copy=False)
-        self.domain = domain
-        self._prepared: tuple[np.ndarray, ...] | None = None
-        self._twin: RnsPolynomial | None = None
+        self.state = LimbState(domain, ctx.num_limbs, scale)
+
+    @property
+    def domain(self) -> str:
+        return self.state.domain
+
+    @property
+    def level(self) -> int:
+        return self.state.level
+
+    @property
+    def scale(self) -> float:
+        return self.state.scale
+
+    # Back-compat views of the cache handles (read paths only; writes go
+    # through ``self.state``).
+    @property
+    def _prepared(self) -> tuple[np.ndarray, ...] | None:
+        return self.state.prepared
+
+    @property
+    def _twin(self) -> RnsPolynomial | None:
+        return self.state.twin
 
     @property
     def num_limbs(self) -> int:
         return self.ctx.num_limbs
 
     def _check(self, other: RnsPolynomial) -> None:
-        if not self.ctx.compatible(other.ctx):
-            raise ParameterError("operands come from incompatible contexts")
+        reason = self.ctx.mismatch_reason(other.ctx)
+        if reason is not None:
+            raise ParameterError(
+                f"operands come from incompatible contexts: {reason}"
+            )
         if self.domain != other.domain:
             raise LayoutError(
                 f"domain mismatch: {self.domain} vs {other.domain}"
@@ -378,18 +504,30 @@ class RnsPolynomial:
         self._check(other)
         q = self.ctx.moduli
         s = self.limbs + other.limbs
-        return RnsPolynomial(self.ctx, np.where(s >= q, s - q, s), self.domain)
+        return RnsPolynomial(
+            self.ctx,
+            np.where(s >= q, s - q, s),
+            self.domain,
+            scale=self.state.scale,
+        )
 
     def sub(self, other: RnsPolynomial) -> RnsPolynomial:
         self._check(other)
         q = self.ctx.moduli
         d = self.limbs + q - other.limbs
-        return RnsPolynomial(self.ctx, np.where(d >= q, d - q, d), self.domain)
+        return RnsPolynomial(
+            self.ctx,
+            np.where(d >= q, d - q, d),
+            self.domain,
+            scale=self.state.scale,
+        )
 
     def negate(self) -> RnsPolynomial:
         q = self.ctx.moduli
         neg = np.where(self.limbs == 0, self.limbs, q - self.limbs)
-        return RnsPolynomial(self.ctx, neg, self.domain)
+        return RnsPolynomial(
+            self.ctx, neg, self.domain, scale=self.state.scale
+        )
 
     def __add__(self, other: RnsPolynomial) -> RnsPolynomial:
         return self.add(other)
@@ -401,27 +539,14 @@ class RnsPolynomial:
         return self.negate()
 
     # -- in-place mutation (invalidates caches) ----------------------------
-    def _invalidate(self) -> None:
-        """Drop caches that describe the (about-to-change) limb values.
-
-        The backend-prepared handle is derived data; the twin link is
-        bidirectional, so the twin's back-pointer is severed too — its
-        own limbs stay valid, it just no longer mirrors this polynomial.
-        """
-        self._prepared = None
-        twin = self._twin
-        self._twin = None
-        if twin is not None:
-            twin._twin = None
-
     def add_(self, other: RnsPolynomial) -> RnsPolynomial:
         """In-place :meth:`add`: accumulate ``other`` into this limb matrix.
 
         Returns ``self``; drops the cached prepared handle and domain
-        twin (see :meth:`_invalidate`).
+        twin through the single :meth:`LimbState.invalidate` path.
         """
         self._check(other)
-        self._invalidate()
+        self.state.invalidate()
         q = self.ctx.moduli
         np.add(self.limbs, other.limbs, out=self.limbs)
         np.minimum(self.limbs, self.limbs - q, out=self.limbs)
@@ -430,7 +555,7 @@ class RnsPolynomial:
     def sub_(self, other: RnsPolynomial) -> RnsPolynomial:
         """In-place :meth:`sub`."""
         self._check(other)
-        self._invalidate()
+        self.state.invalidate()
         q = self.ctx.moduli
         np.add(self.limbs, q, out=self.limbs)
         np.subtract(self.limbs, other.limbs, out=self.limbs)
@@ -439,7 +564,7 @@ class RnsPolynomial:
 
     def negate_(self) -> RnsPolynomial:
         """In-place :meth:`negate`."""
-        self._invalidate()
+        self.state.invalidate()
         q = self.ctx.moduli
         np.copyto(
             self.limbs,
@@ -458,23 +583,43 @@ class RnsPolynomial:
         """
         if self.domain == NTT:
             return self
-        if self._twin is None:
+        if self.state.twin is None:
             out = self.ctx.batch_ntt.forward(self.limbs)
-            twin = RnsPolynomial(self.ctx, out, NTT)
-            twin._twin = self
-            self._twin = twin
-        return self._twin
+            twin = RnsPolynomial(self.ctx, out, NTT, scale=self.state.scale)
+            twin.state.twin = self
+            self.state.twin = twin
+        return self.state.twin
 
     def to_coeff(self) -> RnsPolynomial:
         """Inverse of :meth:`to_ntt`, with the same twin caching."""
         if self.domain == COEFF:
             return self
-        if self._twin is None:
+        if self.state.twin is None:
             out = self.ctx.batch_ntt.inverse(self.limbs)
-            twin = RnsPolynomial(self.ctx, out, COEFF)
-            twin._twin = self
-            self._twin = twin
-        return self._twin
+            twin = RnsPolynomial(self.ctx, out, COEFF, scale=self.state.scale)
+            twin.state.twin = self
+            self.state.twin = twin
+        return self.state.twin
+
+    # -- Galois automorphisms ----------------------------------------------
+    def automorphism(self, k: int) -> RnsPolynomial:
+        """The Galois automorphism ``sigma_k: X -> X^k`` (``k`` odd).
+
+        Domain-preserving and transform-free in *both* domains: a signed
+        index permutation of the coefficient columns, or a pure slot
+        permutation of the NTT values, through the per-``(N, k)`` tables
+        cached by :func:`repro.poly.ntt.automorphism_tables`.  Level and
+        scale carry over unchanged (an automorphism permutes the
+        plaintext slots, it does not rescale them).
+        """
+        batch = self.ctx.batch_ntt
+        if self.domain == NTT:
+            out = batch.automorphism_ntt(self.limbs, k)
+        else:
+            out = batch.automorphism_coeff(self.limbs, k)
+        return RnsPolynomial(
+            self.ctx, out, self.domain, scale=self.state.scale
+        )
 
     # -- multiplication ----------------------------------------------------
     def prepared_operand(self) -> tuple[np.ndarray, ...]:
@@ -487,9 +632,11 @@ class RnsPolynomial:
         """
         if self.domain != NTT:
             raise LayoutError("prepared operands require the NTT domain")
-        if self._prepared is None:
-            self._prepared = self.ctx.batch_ntt.prepare_operand(self.limbs)
-        return self._prepared
+        if self.state.prepared is None:
+            self.state.prepared = self.ctx.batch_ntt.prepare_operand(
+                self.limbs
+            )
+        return self.state.prepared
 
     def pointwise_multiply(self, other: RnsPolynomial) -> RnsPolynomial:
         """Element-wise NTT-domain product; both operands must be in NTT."""
@@ -499,7 +646,9 @@ class RnsPolynomial:
         out = self.ctx.batch_ntt.pointwise_prepared(
             self.limbs, other.prepared_operand()
         )
-        return RnsPolynomial(self.ctx, out, NTT)
+        return RnsPolynomial(
+            self.ctx, out, NTT, scale=self.state.scale * other.state.scale
+        )
 
     def multiply(self, other: RnsPolynomial) -> RnsPolynomial:
         """Negacyclic polynomial product via NTT-domain convolution.
@@ -518,7 +667,9 @@ class RnsPolynomial:
             return self.pointwise_multiply(other)
         prod = self.to_ntt().pointwise_multiply(other.to_ntt())
         out = self.ctx.batch_ntt.inverse(prod.limbs)
-        return RnsPolynomial(self.ctx, out, COEFF)
+        return RnsPolynomial(
+            self.ctx, out, COEFF, scale=self.state.scale * other.state.scale
+        )
 
     def __mul__(self, other: RnsPolynomial) -> RnsPolynomial:
         return self.multiply(other)
@@ -577,7 +728,15 @@ class RnsPolynomial:
                 acc.accumulate_product(lanes, parts[0], b_shoup=parts[1])
             else:
                 acc.accumulate_product(lanes, parts[0])
-        return RnsPolynomial(ctx, acc.fold(), NTT)
+        # Scale follows the product convention (pointwise_multiply /
+        # multiply): terms of one inner product share a common scale, so
+        # the first pair's product scale is the sum's.
+        return RnsPolynomial(
+            ctx,
+            acc.fold(),
+            NTT,
+            scale=a_polys[0].state.scale * b_polys[0].state.scale,
+        )
 
     # -- rescaling ---------------------------------------------------------
     def exact_rescale(self) -> RnsPolynomial:
@@ -640,7 +799,9 @@ class RnsPolynomial:
         np.bitwise_and(s1, np.uint64(0xFFFFFFFF), out=s1)  # in [0, 2q)
         np.subtract(s1, q, out=s2)
         out = np.minimum(s1, s2)
-        return RnsPolynomial(child, out, COEFF)
+        return RnsPolynomial(
+            child, out, COEFF, scale=self.state.scale / q_last
+        )
 
     # -- basis conversion / key switching (§4.3) ---------------------------
     def mod_up(self, aux_primes: Sequence[Prime | int]) -> RnsPolynomial:

@@ -1,0 +1,43 @@
+"""Scheme layer: RLWE ciphertexts and the homomorphic evaluator.
+
+Built on :mod:`repro.poly`: keys ride the hybrid key-switching pipeline,
+rotations ride the Galois index-permutation kernels and the hoisted
+(shared-ModUp) schedule, rescaling rides ``exact_rescale`` — and
+:class:`SchemeCostModel` prices each composite op as a sum of the
+already-priced Table-3 kernels.  :class:`ReferenceEvaluator` is the
+exact big-int/CRT plaintext-side oracle the end-to-end tests compare
+against.
+"""
+
+from repro.scheme.ciphertext import Ciphertext, Plaintext
+from repro.scheme.cost import SchemeCostModel
+from repro.scheme.evaluator import Evaluator
+from repro.scheme.keys import (
+    DEFAULT_SIGMA,
+    KeyGenerator,
+    PublicKey,
+    SecretKey,
+    conjugation_element,
+    galois_element,
+    lift_signed,
+    sample_error,
+    sample_ternary,
+)
+from repro.scheme.reference import ReferenceEvaluator
+
+__all__ = [
+    "DEFAULT_SIGMA",
+    "Ciphertext",
+    "Evaluator",
+    "KeyGenerator",
+    "Plaintext",
+    "PublicKey",
+    "ReferenceEvaluator",
+    "SchemeCostModel",
+    "SecretKey",
+    "conjugation_element",
+    "galois_element",
+    "lift_signed",
+    "sample_error",
+    "sample_ternary",
+]

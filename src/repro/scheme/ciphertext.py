@@ -1,0 +1,154 @@
+"""Plaintexts and two-component RLWE ciphertexts with explicit state.
+
+A :class:`Ciphertext` is the pair ``(c0, c1)`` decrypting as
+``c0 + c1 * s``; it carries the *same* explicit
+:class:`~repro.poly.rns_poly.LimbState` (domain / level / scale) the
+polynomial layer uses, plus a heuristic noise estimate in bits.  The
+evaluator reads this state to refuse unsound combinations (level
+mismatches raise :class:`~repro.errors.LevelError`, scale mismatches
+:class:`~repro.errors.ScaleMismatchError`) instead of silently producing
+garbage.
+
+:class:`Plaintext` is the coefficient-packed encoding: a real vector is
+scaled by ``Delta`` and rounded into integer polynomial coefficients.
+Galois automorphisms act on this packing as signed index permutations of
+the coefficients (under the canonical-embedding slot packing of a later
+PR the same automorphisms become slot rotations — the ring-level
+machinery is identical).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import LayoutError, ParameterError
+from repro.poly.rns_poly import LimbState, PolyContext, RnsPolynomial
+
+
+class Plaintext:
+    """A scaled integer-coefficient plaintext element.
+
+    Thin wrapper over an :class:`RnsPolynomial` whose
+    ``state.scale`` records the encoding factor ``Delta``:
+    coefficient ``j`` holds ``round(values[j] * Delta)``.
+    """
+
+    __slots__ = ("poly",)
+
+    def __init__(self, poly: RnsPolynomial) -> None:
+        self.poly = poly
+
+    @property
+    def ctx(self) -> PolyContext:
+        return self.poly.ctx
+
+    @property
+    def scale(self) -> float:
+        return self.poly.state.scale
+
+    @property
+    def level(self) -> int:
+        return self.poly.state.level
+
+    @classmethod
+    def encode(
+        cls, ctx: PolyContext, values, scale: float
+    ) -> Plaintext:
+        """Encode a real vector (length <= N, zero-padded) at ``scale``."""
+        if scale <= 0:
+            raise ParameterError(f"encoding scale must be > 0, got {scale}")
+        values = np.asarray(values, dtype=np.float64).ravel()
+        n = ctx.ring_degree
+        if values.size > n:
+            raise LayoutError(
+                f"{values.size} values do not fit a ring of degree {n}"
+            )
+        coeffs = [0] * n
+        half_q = ctx.modulus // 2
+        for j, v in enumerate(values):
+            c = round(float(v) * scale)
+            if abs(c) > half_q:
+                raise ParameterError(
+                    f"encoded coefficient {c} at index {j} exceeds Q/2: "
+                    "value too large for this (scale, level)"
+                )
+            coeffs[j] = c
+        poly = ctx.from_int_coeffs(coeffs)
+        poly.state.scale = float(scale)
+        return cls(poly)
+
+    def decode(self) -> np.ndarray:
+        """Centered CRT reconstruction divided by the scale."""
+        ints = self.poly.to_coeff().to_int_coeffs(centered=True)
+        return np.array(ints, dtype=np.float64) / self.scale
+
+
+class Ciphertext:
+    """A two-component RLWE ciphertext ``(c0, c1)``.
+
+    Decrypts as ``c0 + c1 * s``.  The ciphertext-level
+    :class:`LimbState` is authoritative for domain / level / scale (the
+    component polynomials' own scales are neither consulted nor
+    mutated — they may carry intermediate product scales), and
+    ``noise_bits`` tracks a heuristic worst-case-ish estimate of
+    ``log2 |noise|`` maintained by the evaluator — good for budgeting
+    and test assertions, not a cryptographic guarantee.
+    """
+
+    __slots__ = ("c0", "c1", "state", "noise_bits")
+
+    def __init__(
+        self,
+        c0: RnsPolynomial,
+        c1: RnsPolynomial,
+        *,
+        scale: float,
+        noise_bits: float = 0.0,
+    ) -> None:
+        reason = c0.ctx.mismatch_reason(c1.ctx)
+        if reason is not None:
+            raise ParameterError(f"ciphertext component contexts: {reason}")
+        if c0.domain != c1.domain:
+            raise LayoutError(
+                f"ciphertext component domains differ: "
+                f"{c0.domain} vs {c1.domain}"
+            )
+        if scale <= 0:
+            raise ParameterError(f"ciphertext scale must be > 0, got {scale}")
+        self.c0 = c0
+        self.c1 = c1
+        # The ciphertext state is authoritative; the borrowed component
+        # polynomials are NOT mutated (they may be shared with another
+        # ciphertext or carry intermediate product scales), so their own
+        # state.scale is not consulted by any evaluator op.
+        self.state = LimbState(c0.domain, c0.ctx.num_limbs, scale)
+        self.noise_bits = float(noise_bits)
+
+    @property
+    def ctx(self) -> PolyContext:
+        return self.c0.ctx
+
+    @property
+    def domain(self) -> str:
+        return self.state.domain
+
+    @property
+    def level(self) -> int:
+        return self.state.level
+
+    @property
+    def scale(self) -> float:
+        return self.state.scale
+
+    @property
+    def noise_budget_bits(self) -> float:
+        """Estimated bits of headroom: ``log2(Q/2) - noise_bits``.
+
+        A budget near zero means the estimated noise magnitude
+        approaches ``Q/2`` and decryption is about to wrap — the
+        estimate is heuristic (see :attr:`noise_bits`), so treat this as
+        an engineering gauge, not a proof.
+        """
+        return math.log2(self.ctx.modulus) - 1.0 - self.noise_bits

@@ -1,0 +1,183 @@
+"""Op-level composite pricing for the scheme layer.
+
+Prices HMult / relinearize / rotate / hoisted rotation as field-wise
+sums of the already-priced Table-3 polynomial kernels
+(:class:`~repro.poly.cost.CostModel`), so benchmark output and workload
+budgets map onto the paper's op-level accounting without re-deriving any
+kernel cost.
+
+The key-switch cost is split at the hoisting boundary:
+
+* ``_ks_shared`` — ModUp of every digit plus the ``dnum`` extended-basis
+  forward NTTs.  Input-only work: a hoisted rotation pays it *once*.
+* ``_ks_finish`` — the two-half MAC through the lazy accumulators, the
+  terminal folds, the two extended inverse NTTs and the two ModDowns.
+  Per-output work: every rotation index pays it.
+
+``_ks_shared + _ks_finish`` equals the monolithic
+``CostModel.key_switch`` field-for-field (the test suite pins this), so
+the split is an accounting view, not a second cost model.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+from repro.poly.cost import CostModel, OpCost, _merge
+from repro.rns.primes import digit_ranges
+
+
+class SchemeCostModel:
+    """Composite op pricing for one ``(N, L, K, dnum, method)`` choice.
+
+    Args:
+        ring_degree: N.
+        num_limbs: live limbs L of the ciphertext level.
+        num_aux: auxiliary P-part limbs K.
+        dnum: hybrid key-switching digit count.
+        method: NTT reducer backend (prices the method-priced parts; the
+            conversion sub-kernels always run Shoup chains and ride in
+            ``extra_int32``, following the polynomial layer).
+    """
+
+    def __init__(
+        self,
+        ring_degree: int,
+        num_limbs: int,
+        num_aux: int,
+        dnum: int,
+        method: str,
+    ) -> None:
+        if num_aux < 1:
+            raise ParameterError(f"num_aux must be >= 1, got {num_aux}")
+        digit_ranges(num_limbs, dnum)  # validates dnum
+        self.poly = CostModel(ring_degree, num_limbs, method)
+        self.num_aux = int(num_aux)
+        self.dnum = int(dnum)
+        self.ext = num_limbs + self.num_aux
+
+    # -- key-switch halves (the hoisting boundary) -------------------------
+    def _ks_shared(self) -> OpCost:
+        """ModUp + ``dnum`` extended forward NTTs (paid once per input)."""
+        fwd = self.poly.ntt()
+        up = self.poly.mod_up(self.num_aux, dnum=self.dnum)
+        return OpCost(
+            "ks_shared",
+            self.poly.method,
+            modmuls=self.dnum * self.ext * fwd.modmuls,
+            modadds=self.dnum * self.ext * fwd.modadds,
+            twiddle_consts=self.ext * fwd.twiddle_consts + up.twiddle_consts,
+            extra_int32=up.int32_instrs,
+        )
+
+    def _ks_finish(self) -> OpCost:
+        """MAC + folds + extended inverses + ModDowns (paid per output)."""
+        inv = self.poly.intt()
+        down = self.poly.mod_down(self.num_aux)
+        lanes = self.poly.n * self.ext
+        return OpCost(
+            "ks_finish",
+            self.poly.method,
+            modmuls=2 * (self.dnum + 1) * lanes + 2 * self.ext * inv.modmuls,
+            modadds=2 * self.ext * inv.modadds,
+            twiddle_consts=self.ext * inv.twiddle_consts
+            + down.twiddle_consts,
+            raw_adds64=2 * self.dnum * lanes,
+            extra_int32=2 * down.int32_instrs,
+        )
+
+    # -- composite ops -----------------------------------------------------
+    def relinearize(self) -> OpCost:
+        """Key switch of the degree-2 tensor component + 2 component adds.
+
+        The input arrives NTT-domain from the tensor, so the plan's
+        ``intt_input`` step (one L-row inverse) rides in front.
+        """
+        cost = self.poly.intt().scaled(self.poly.num_limbs, "relinearize")
+        cost = _merge(cost, self._ks_shared())
+        cost = _merge(cost, self._ks_finish())
+        cost = _merge(cost, self.poly.add())
+        return _merge(cost, self.poly.add())
+
+    def hmult(self) -> OpCost:
+        """Ciphertext multiply fused with relinearization.
+
+        Four L-row forward NTTs, the three-component tensor (two plain
+        pointwise products plus the fused two-term MAC for the cross
+        component), two L-row inverse NTTs for the degree-0/1 outputs,
+        then :meth:`relinearize`.
+        """
+        limbs = self.poly.num_limbs
+        cost = self.poly.ntt().scaled(4 * limbs, "hmult")
+        cost = _merge(cost, self.poly.pointwise().scaled(2 * limbs))
+        cost = _merge(cost, self.poly.multiply_accumulate(2))
+        cost = _merge(cost, self.poly.intt().scaled(2 * limbs))
+        return _merge(cost, self.relinearize())
+
+    def rescale(self) -> OpCost:
+        """Exact rescale of both ciphertext components."""
+        return self.poly.rescale().scaled(2, "rescale_ct")
+
+    def rotate(self) -> OpCost:
+        """One hoisted-schedule rotation: key switch + ``sigma_k`` + add.
+
+        The Galois action costs one coefficient-domain pass on ``c0``
+        (conditional negations) and a *free* NTT-domain permutation of
+        the hoisted digits.
+        """
+        cost = OpCost("rotate", self.poly.method, 0, 0)
+        cost = _merge(cost, self._ks_shared())
+        cost = _merge(cost, self._ks_finish())
+        cost = _merge(cost, self.poly.automorphism("coeff"))
+        cost = _merge(cost, self.poly.automorphism("ntt"))
+        return _merge(cost, self.poly.add())
+
+    def hoisted_rotate(self, count: int) -> OpCost:
+        """``count`` rotations of one ciphertext sharing a single ModUp.
+
+        The shared front (:meth:`_ks_shared`) is paid once; every index
+        pays the per-output tail, the Galois passes and the add.  For
+        ``count >= 2`` this is strictly cheaper than ``count``
+        independent :meth:`rotate` calls by ``(count - 1)`` shared
+        fronts — the benchmark's wall-clock claim, stated in int32
+        instructions.
+        """
+        if count < 1:
+            raise ParameterError(
+                f"hoisted_rotate needs >= 1 rotation, got {count}"
+            )
+        per = _merge(
+            _merge(self._ks_finish(), self.poly.automorphism("coeff")),
+            _merge(self.poly.automorphism("ntt"), self.poly.add()),
+        )
+        return _merge(
+            self._ks_shared().scaled(1, "hoisted_rotate"),
+            per.scaled(count),
+        )
+
+    def operations(self) -> list[OpCost]:
+        return [
+            self.relinearize(),
+            self.hmult(),
+            self.rescale(),
+            self.rotate(),
+            self.hoisted_rotate(4),
+        ]
+
+    def table(self) -> str:
+        """Render the composite op set, Table-3 style."""
+        header = (
+            f"N={self.poly.n}, limbs={self.poly.num_limbs}, "
+            f"aux={self.num_aux}, dnum={self.dnum}, "
+            f"method={self.poly.method}"
+        )
+        rows = [
+            header,
+            f"{'op':<20}{'modmul':>12}{'modadd':>12}{'raw64':>12}"
+            f"{'int32':>14}",
+        ]
+        for op in self.operations():
+            rows.append(
+                f"{op.name:<20}{op.modmuls:>12}{op.modadds:>12}"
+                f"{op.raw_muls64 + op.raw_adds64:>12}{op.int32_instrs:>14}"
+            )
+        return "\n".join(rows)

@@ -1,0 +1,153 @@
+"""Galois automorphism algebra: composition, inverses, domain equality.
+
+The automorphism group of ``Z[X]/(X^N + 1)`` is ``(Z/2N)^*`` acting by
+``sigma_k: X -> X^k``; these tests pin the group laws on the cached
+index-permutation kernels — composition ``sigma_j . sigma_k =
+sigma_{jk mod 2N}``, inverse orbits, and the commuting square
+``NTT(sigma(a)) == sigma_ntt(NTT(a))`` bit-for-bit across all four
+reducer backends (the NTT-domain action is a pure slot permutation, so
+there is no arithmetic to disagree on — the test proves the *index*
+algebra).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.poly.ntt import automorphism_tables
+from repro.poly.rns_poly import NTT, PolyContext
+from repro.rns.primes import PrimePool
+
+N = 64
+METHODS = ("barrett", "montgomery", "shoup", "smr")
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return PrimePool.generate(N, num_main=2, num_terminal=1, num_aux=0)
+
+
+@pytest.fixture(scope="module")
+def ctx(pool):
+    return PolyContext.from_pool(pool, num_terminal=1, num_main=2)
+
+
+def _naive_sigma(limbs: np.ndarray, primes, k: int) -> np.ndarray:
+    """Reference sigma_k straight from the definition X^i -> X^(ik)."""
+    n = limbs.shape[1]
+    out = np.zeros_like(limbs)
+    for i in range(n):
+        e = (i * k) % (2 * n)
+        for row, q in enumerate(primes):
+            v = int(limbs[row, i])
+            if e >= n:
+                out[row, e - n] = (q - v) % q
+            else:
+                out[row, e] = v
+    return out
+
+
+def test_coeff_automorphism_matches_definition(ctx, rng):
+    a = ctx.random(rng)
+    for k in (3, 5, 25, 2 * N - 1, 2 * N + 3):
+        got = a.automorphism(k)
+        assert got.domain == a.domain
+        expect = _naive_sigma(a.limbs, ctx.primes, k % (2 * N))
+        assert np.array_equal(got.limbs, expect)
+
+
+def test_automorphism_rejects_even_elements(ctx, rng):
+    a = ctx.random(rng)
+    with pytest.raises(ParameterError):
+        a.automorphism(2)
+    with pytest.raises(ParameterError):
+        automorphism_tables(N, 0)
+    with pytest.raises(ParameterError):
+        automorphism_tables(12, 5)  # N not a power of two
+
+
+def test_tables_are_cached_and_read_only():
+    t1 = automorphism_tables(N, 5)
+    t2 = automorphism_tables(N, 5 + 2 * N)  # reduced mod 2N first
+    assert all(a is b for a, b in zip(t1, t2))
+    for arr in t1:
+        assert not arr.flags.writeable
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_coeff_vs_ntt_domain_bit_equality(ctx, method, rng):
+    """NTT(sigma_coeff(a)) == sigma_ntt(NTT(a)) for every backend."""
+    mctx = PolyContext(ctx.ring_degree, ctx.primes, method)
+    a = mctx.random(rng)
+    for k in (3, 5, 2 * N - 1, 77):
+        via_coeff = a.automorphism(k).to_ntt()
+        via_ntt = a.to_ntt().automorphism(k)
+        assert via_ntt.domain == NTT
+        assert np.array_equal(via_coeff.limbs, via_ntt.limbs), (method, k)
+        # ...and back down: the coeff-domain images agree too.
+        assert np.array_equal(
+            via_ntt.to_coeff().limbs, a.automorphism(k).limbs
+        )
+
+
+@pytest.mark.parametrize("domain", ("coeff", "ntt"))
+def test_composition_law(ctx, domain, rng):
+    """sigma_j(sigma_k(a)) == sigma_{jk mod 2N}(a) in both domains."""
+    a = ctx.random(rng)
+    if domain == "ntt":
+        a = a.to_ntt()
+    for j, k in ((3, 5), (5, 25), (2 * N - 1, 5), (7, 2 * N - 1)):
+        lhs = a.automorphism(k).automorphism(j)
+        rhs = a.automorphism((j * k) % (2 * N))
+        assert np.array_equal(lhs.limbs, rhs.limbs), (domain, j, k)
+
+
+@pytest.mark.parametrize("domain", ("coeff", "ntt"))
+def test_inverse_orbits(ctx, domain, rng):
+    """sigma_k . sigma_{k^-1} = id, and the rotation generator's orbit
+    closes after exactly ord(5) = N/2 steps (not before)."""
+    a = ctx.random(rng)
+    if domain == "ntt":
+        a = a.to_ntt()
+    for k in (3, 5, 77, 2 * N - 1):
+        k_inv = pow(k, -1, 2 * N)
+        assert np.array_equal(
+            a.automorphism(k).automorphism(k_inv).limbs, a.limbs
+        )
+    cur = a
+    for step in range(1, N // 2):
+        cur = cur.automorphism(5)
+        assert not np.array_equal(cur.limbs, a.limbs), step
+    cur = cur.automorphism(5)
+    assert np.array_equal(cur.limbs, a.limbs)
+
+
+def test_automorphism_commutes_with_ring_ops(ctx, rng):
+    """sigma is a ring homomorphism: sigma(a+b) = sigma(a)+sigma(b) and
+    sigma(a*b) = sigma(a)*sigma(b) (checked through the NTT pipeline)."""
+    a, b = ctx.random(rng), ctx.random(rng)
+    for k in (5, 2 * N - 1):
+        assert np.array_equal(
+            (a + b).automorphism(k).limbs,
+            (a.automorphism(k) + b.automorphism(k)).limbs,
+        )
+        assert np.array_equal(
+            (a * b).automorphism(k).limbs,
+            (a.automorphism(k) * b.automorphism(k)).limbs,
+        )
+
+
+def test_automorphism_preserves_state(ctx, rng):
+    a = ctx.random(rng)
+    a.state.scale = 2.0**20
+    rot = a.automorphism(5)
+    assert rot.scale == a.scale
+    assert rot.level == a.level
+    assert rot.state.twin is None and rot.state.prepared is None
+
+
+def test_ntt_action_is_pure_permutation():
+    """Every NTT slot appears exactly once — no signs, no collisions."""
+    for k in (3, 5, 127):
+        _, _, perm = automorphism_tables(N, k)
+        assert sorted(perm.tolist()) == list(range(N))

@@ -450,3 +450,66 @@ class TestKeySwitchKeyValidation:
         assert ctx.key_switcher(aux_primes, 1) is not ctx.key_switcher(
             aux_primes, 2
         )
+
+
+# -- hoisting (PR 4): shared ModUp across key switches ----------------------
+class TestHoisting:
+    def test_run_hoisted_bit_matches_key_switch(self, ctx, aux_primes, rng):
+        ksk = KeySwitchKey.random(ctx, aux_primes, 2, rng)
+        sw = ctx.key_switcher(aux_primes, 2)
+        a = ctx.random(rng)
+        c0, c1 = a.key_switch(ksk)
+        h0, h1 = sw.run_hoisted(sw.hoist(a), ksk)
+        assert np.array_equal(c0.limbs, h0.limbs)
+        assert np.array_equal(c1.limbs, h1.limbs)
+
+    def test_hoist_tensor_reuse_across_keys(self, ctx, aux_primes, rng):
+        """One hoist serves many keys: per-key results equal per-key
+        hoists (nothing in run_hoisted mutates the tensor)."""
+        sw = ctx.key_switcher(aux_primes, 2)
+        a = ctx.random(rng)
+        hoisted = sw.hoist(a)
+        snapshot = hoisted.copy()
+        keys = [
+            KeySwitchKey.random(ctx, aux_primes, 2, rng) for _ in range(3)
+        ]
+        shared = [sw.run_hoisted(hoisted, k) for k in keys]
+        assert np.array_equal(hoisted, snapshot)
+        for k, (s0, s1) in zip(keys, shared):
+            f0, f1 = sw.run_hoisted(sw.hoist(a), k)
+            assert np.array_equal(s0.limbs, f0.limbs)
+            assert np.array_equal(s1.limbs, f1.limbs)
+
+    def test_run_hoisted_with_permutation(self, ctx, aux_primes, rng):
+        """A Galois slot permutation of the hoisted digits equals
+        hoisting the *integer* automorphism of each digit."""
+        from repro.poly.ntt import automorphism_tables
+
+        k = 5
+        n = ctx.ring_degree
+        perm = automorphism_tables(n, k)[2]
+        ksk = KeySwitchKey.random(ctx, aux_primes, 2, rng)
+        sw = ctx.key_switcher(aux_primes, 2)
+        a = ctx.random(rng)
+        hoisted = sw.hoist(a)
+        permuted = np.stack(
+            [digit[:, perm] for digit in hoisted]
+        )
+        p0, p1 = sw.run_hoisted(hoisted, ksk, perm=perm)
+        q0, q1 = sw.run_hoisted(permuted, ksk)
+        assert np.array_equal(p0.limbs, q0.limbs)
+        assert np.array_equal(p1.limbs, q1.limbs)
+
+    def test_run_hoisted_validation(self, ctx, aux_primes, rng):
+        ksk = KeySwitchKey.random(ctx, aux_primes, 2, rng)
+        sw = ctx.key_switcher(aux_primes, 2)
+        a = ctx.random(rng)
+        hoisted = sw.hoist(a)
+        with pytest.raises(LayoutError, match="hoisted digit tensor"):
+            sw.run_hoisted(hoisted[:1], ksk)
+        wrong = KeySwitchKey.random(ctx, aux_primes, 3, rng)
+        with pytest.raises(ParameterError, match="configuration"):
+            sw.run_hoisted(hoisted, wrong)
+        other = PolyContext(ctx.ring_degree, ctx.primes, "barrett")
+        with pytest.raises(ParameterError, match="context"):
+            sw.hoist(other.random(rng))

@@ -198,3 +198,78 @@ def test_table_renders_new_kernels():
     text = CostModel(64, 3, "smr").table()
     for op in ("basis_convert", "mod_up", "mod_down", "key_switch"):
         assert op in text
+
+
+# -- automorphism + scheme-layer composite pricing (PR 4) -------------------
+def test_automorphism_pricing():
+    model = CostModel(256, 4, "smr")
+    coeff = model.automorphism("coeff")
+    ntt = model.automorphism("ntt")
+    # Coeff domain: one conditional negation per lane; NTT domain: a
+    # pure permutation — zero int32 arithmetic.
+    assert coeff.modmuls == 0 and coeff.modadds == 256 * 4
+    assert ntt.int32_instrs == 0
+    with pytest.raises(ParameterError):
+        model.automorphism("fourier")
+
+
+def test_scheme_ks_split_sums_to_key_switch():
+    """_ks_shared + _ks_finish is an accounting split of key_switch,
+    field for field — not a second cost model."""
+    from repro.poly.cost import _merge
+    from repro.scheme.cost import SchemeCostModel
+
+    for method in ("barrett", "montgomery", "shoup", "smr"):
+        sc = SchemeCostModel(256, 6, 3, 2, method)
+        ks = sc.poly.key_switch(3, dnum=2)
+        split = _merge(sc._ks_shared(), sc._ks_finish())
+        for field in (
+            "modmuls",
+            "modadds",
+            "twiddle_consts",
+            "raw_muls64",
+            "raw_adds64",
+            "extra_int32",
+        ):
+            assert getattr(split, field) == getattr(ks, field), (
+                method,
+                field,
+            )
+
+
+def test_hoisted_rotation_amortizes_the_shared_front():
+    from repro.scheme.cost import SchemeCostModel
+
+    sc = SchemeCostModel(1024, 4, 2, 2, "shoup")
+    rotate = sc.rotate().int32_instrs
+    shared = sc._ks_shared().int32_instrs
+    for count in (2, 4, 8):
+        hoisted = sc.hoisted_rotate(count).int32_instrs
+        assert hoisted < count * rotate
+        # exactly (count - 1) shared fronts cheaper
+        assert hoisted == count * rotate - (count - 1) * shared
+    with pytest.raises(ParameterError):
+        sc.hoisted_rotate(0)
+
+
+def test_hmult_composite_exceeds_its_parts():
+    from repro.scheme.cost import SchemeCostModel
+
+    sc = SchemeCostModel(256, 4, 2, 2, "smr")
+    hmult = sc.hmult()
+    relin = sc.relinearize()
+    assert hmult.int32_instrs > relin.int32_instrs
+    assert relin.int32_instrs > sc.poly.key_switch(2, dnum=2).int32_instrs
+    assert sc.rescale().modmuls == 2 * sc.poly.rescale().modmuls
+
+
+def test_scheme_table_renders_composites():
+    from repro.scheme.cost import SchemeCostModel
+
+    text = SchemeCostModel(64, 3, 2, 2, "smr").table()
+    for op in ("relinearize", "hmult", "rotate", "hoisted_rotate"):
+        assert op in text
+    with pytest.raises(ParameterError):
+        SchemeCostModel(64, 3, 0, 2, "smr")
+    with pytest.raises(ParameterError):
+        SchemeCostModel(64, 3, 2, 9, "smr")

@@ -215,3 +215,58 @@ def test_fold_into_consumes_accumulator(rng):
     acc.reset()
     assert acc.terms == 0 and acc.bound == 0
     assert np.all(acc.acc == 0)
+
+
+def test_fold_into_rejects_aliased_scratch(rng):
+    """Regression (scratch-reuse audit): folding into a buffer that
+    aliases the accumulator would read half-folded state through the
+    alias — the guard refuses both full and partial overlap."""
+    red = make_reducer("barrett", Q_TERMINAL)
+    acc = LazyAccumulator(red, 8)
+    acc.accumulate_value(rng.integers(0, Q_TERMINAL, 8, np.uint64),
+                         Q_TERMINAL - 1)
+    with pytest.raises(ParameterError, match="alias"):
+        acc.fold_into(acc.acc)
+    with pytest.raises(ParameterError, match="alias"):
+        acc.fold_into(acc.acc[:])  # a view counts too
+    # A distinct buffer still works after the refused calls.
+    out = np.empty(8, np.uint64)
+    acc.fold_into(out)
+
+
+def test_relinearize_then_rescale_chain_shares_no_scratch(rng):
+    """The evaluator's relinearize-then-rescale double-use: running the
+    fused key switch and an exact_rescale back to back (twice) must give
+    the same bits as fresh single-use pipelines — a shared or aliased
+    scratch buffer between the two kernels would corrupt round two."""
+    from repro.poly.basis_conv import KeySwitchKey
+    from repro.poly.rns_poly import PolyContext
+    from repro.rns.primes import ntt_friendly_primes
+
+    n = 64
+    t = ntt_friendly_primes(25, 1, n, kind="terminal")
+    m = ntt_friendly_primes(30, 3, n, exclude={p.value for p in t})
+    primes = [p.value for p in t + m]
+    aux = [
+        p.value
+        for p in ntt_friendly_primes(30, 3, n, kind="aux",
+                                     exclude=set(primes))
+    ]
+    ctx = PolyContext(n, primes, "smr")
+    ksk = KeySwitchKey.random(ctx, aux, 2, rng)
+    a = ctx.random(rng)
+
+    def chain():
+        c0, c1 = a.key_switch(ksk)
+        return c0.exact_rescale(), c1.exact_rescale()
+
+    first = chain()
+    second = chain()  # same persistent switcher/rescale scratch, reused
+    for f, s in zip(first, second):
+        assert np.array_equal(f.limbs, s.limbs)
+    # And interleaving another key switch between the rescales changes
+    # nothing either (the rescale result must not live in KS scratch).
+    c0, c1 = a.key_switch(ksk)
+    r0 = c0.exact_rescale()
+    _ = a.key_switch(ksk)
+    assert np.array_equal(r0.limbs, first[0].limbs)

@@ -374,3 +374,87 @@ def test_multiply_result_carries_no_twin(ctx, rng):
             a.to_ntt().pointwise_multiply(b.to_ntt()).limbs
         ),
     )
+
+
+# -- explicit LimbState (PR 4 tentpole) -------------------------------------
+def test_limbstate_carries_domain_level_scale(ctx, rng):
+    from repro.poly.rns_poly import LimbState
+
+    a = ctx.random(rng)
+    assert a.state.domain == COEFF and a.domain == COEFF
+    assert a.state.level == ctx.num_limbs and a.level == ctx.num_limbs
+    assert a.state.scale == 1.0 and a.scale == 1.0
+    with pytest.raises(LayoutError):
+        LimbState("frequency", 3)
+    with pytest.raises(LevelError):
+        LimbState(COEFF, 0)
+
+
+def test_scale_propagates_through_ops(ctx, rng):
+    a, b = ctx.random(rng), ctx.random(rng)
+    a.state.scale = 2.0**20
+    b.state.scale = 2.0**21
+    assert (a + b).scale == a.scale  # linear ops keep the left scale
+    assert (a - b).scale == a.scale
+    assert (-a).scale == a.scale
+    assert a.to_ntt().scale == a.scale  # transforms preserve it
+    assert (a * b).scale == 2.0**41  # products multiply it
+    from repro.poly.rns_poly import RnsPolynomial
+
+    mac = RnsPolynomial.multiply_accumulate(
+        [a.to_ntt(), a.to_ntt()], [b.to_ntt(), b.to_ntt()]
+    )
+    assert mac.scale == 2.0**41  # fused inner products too
+    q_last = ctx.primes[-1]
+    res = a.exact_rescale()
+    assert res.scale == a.scale / q_last  # rescale divides by q_last
+    assert res.level == a.level - 1
+
+
+def test_invalidate_is_the_single_cache_drop_path(ctx, rng):
+    a = ctx.random(rng)
+    a_hat = a.to_ntt()
+    handle = a_hat.prepared_operand()
+    assert a_hat.state.prepared is handle
+    assert a.state.twin is a_hat and a_hat.state.twin is a
+    a_hat.state.invalidate()
+    assert a_hat.state.prepared is None
+    assert a_hat.state.twin is None and a.state.twin is None
+
+
+def test_mismatch_reason_is_none_for_compatible(ctx):
+    assert ctx.mismatch_reason(ctx) is None
+    clone = PolyContext(ctx.ring_degree, ctx.primes, ctx.method)
+    assert ctx.mismatch_reason(clone) is None
+    assert ctx.compatible(clone)
+
+
+def test_check_error_names_the_field(ctx, rng):
+    a = ctx.random(rng)
+    lower = ctx.drop_last().random(rng)
+    with pytest.raises(ParameterError, match="level mismatch"):
+        a.add(lower)
+    other = PolyContext(ctx.ring_degree, ctx.primes, "barrett")
+    with pytest.raises(ParameterError, match="reduction method mismatch"):
+        a.add(other.random(rng))
+
+
+def test_automorphism_round_trips_through_crt(ctx, rng):
+    """sigma_k on the limb matrix equals sigma_k on the big integers."""
+    a = ctx.random(rng)
+    k = 5
+    got = a.automorphism(k).to_int_coeffs(centered=True)
+    src = a.to_int_coeffs(centered=True)
+    n = ctx.ring_degree
+    big_q = ctx.modulus
+    expect = [0] * n
+    for i in range(n):
+        e = (i * k) % (2 * n)
+        v = src[i]
+        if e >= n:
+            expect[e - n] = -v
+        else:
+            expect[e] = v
+    half = big_q // 2
+    expect = [((c + half) % big_q) - half for c in expect]
+    assert got == expect
