@@ -4,8 +4,9 @@
 Times the polynomial-layer hot paths the paper's limb-parallel pitch
 lives or dies on — forward NTT, full negacyclic multiply, exact rescale,
 fast basis conversion (ModUp / ModDown), the fused hybrid key switch,
-and (since PR 4) the scheme-layer composites HMult(+relinearize),
-rotate, and hoisted multi-rotation — in two implementations each:
+the scheme-layer composites HMult(+relinearize), rotate, and hoisted
+multi-rotation (PR 4), and the slot-workload composites BSGS matvec and
+BSGS polynomial evaluation (PR 5) — in two implementations each:
 
 * ``batched``: the :class:`~repro.poly.batch_ntt.BatchNTT` /
   :class:`~repro.poly.basis_conv.BasisConverter` pipeline
@@ -55,9 +56,11 @@ from repro.poly.ntt import automorphism_tables  # noqa: E402
 from repro.poly.rns_poly import PolyContext, RnsPolynomial  # noqa: E402
 from repro.rns.primes import digit_ranges, ntt_friendly_primes  # noqa: E402
 from repro.scheme import (  # noqa: E402
+    CanonicalEncoder,
     Ciphertext,
     Evaluator,
     KeyGenerator,
+    SlotLinalg,
     galois_element,
 )
 
@@ -68,6 +71,13 @@ SMOKE_GRID = [(256, 4)]
 #: regression gate for --baseline mode: any previously-recorded cell
 #: whose batched median slows down by more than this factor fails the run
 REGRESSION_THRESHOLD = 0.25
+
+#: cells whose *baseline* batched median sits under this floor are too
+#: noisy to gate individually — sub-millisecond kernels swing +-40% run
+#: to run on shared runners.  Their code is still gated: every floored
+#: kernel executes inside the composite cells (key_switch, hmult,
+#: rotate, matvec, poly_eval) that clear the floor.
+MIN_GATED_MEDIAN_S = 5e-3
 
 
 def _limbs_for(n: int, num_limbs: int) -> list[int]:
@@ -127,9 +137,7 @@ def _looped_forward(ctx: PolyContext, limbs: np.ndarray) -> np.ndarray:
     return out
 
 
-def _looped_multiply(
-    ctx: PolyContext, a: np.ndarray, b: np.ndarray
-) -> np.ndarray:
+def _looped_multiply(ctx: PolyContext, a: np.ndarray, b: np.ndarray) -> np.ndarray:
     out = np.empty_like(a)
     for i, ntt in enumerate(ctx.ntts):
         out[i] = ntt.inverse(ntt.pointwise(ntt.forward(a[i]), ntt.forward(b[i])))
@@ -165,9 +173,7 @@ def _v_floor(x_hat: np.ndarray, src: list[int], q_hat: list[int],
     return v
 
 
-def _looped_convert(
-    src: list[int], dst: list[int], x: np.ndarray
-) -> np.ndarray:
+def _looped_convert(src: list[int], dst: list[int], x: np.ndarray) -> np.ndarray:
     """Per-(i, j) fast basis extension with per-call constant recomputes."""
     modulus = 1
     for q in src:
@@ -188,9 +194,7 @@ def _looped_convert(
     return out
 
 
-def _looped_mod_up(
-    primes: list[int], aux: list[int], limbs: np.ndarray
-) -> np.ndarray:
+def _looped_mod_up(primes: list[int], aux: list[int], limbs: np.ndarray) -> np.ndarray:
     return np.concatenate([limbs, _looped_convert(primes, aux, limbs)])
 
 
@@ -306,9 +310,7 @@ def _looped_rotate(
     return np.where(s >= qcol, s - qcol, s), d1
 
 
-def bench_config(
-    n: int, num_limbs: int, method: str, repeats: int, rng
-) -> list[dict]:
+def bench_config(n: int, num_limbs: int, method: str, repeats: int, rng) -> list[dict]:
     ctx = PolyContext(n, _limbs_for(n, num_limbs), method)
     a = ctx.random(rng)
     b = ctx.random(rng)
@@ -343,9 +345,7 @@ def bench_config(
     # Fresh wrappers per call: the twin/prepared caches would otherwise
     # turn iterations 2..k into pure pointwise passes.
     def fused_multiply():
-        return RnsPolynomial(ctx, a.limbs).multiply(
-            RnsPolynomial(ctx, b.limbs)
-        )
+        return RnsPolynomial(ctx, a.limbs).multiply(RnsPolynomial(ctx, b.limbs))
 
     looped = _looped_multiply(ctx, a.limbs, b.limbs)
     assert np.array_equal(looped, fused_multiply().limbs), (
@@ -429,9 +429,7 @@ def bench_config(
     def fresh_ct(l0, l1):
         # Fresh wrappers per call, like the multiply cell: the twin and
         # prepared caches would otherwise hide the transforms.
-        return Ciphertext(
-            RnsPolynomial(ctx, l0), RnsPolynomial(ctx, l1), scale=1.0
-        )
+        return Ciphertext(RnsPolynomial(ctx, l0), RnsPolynomial(ctx, l1), scale=1.0)
 
     def fused_hmult():
         return ev.multiply(fresh_ct(a0l, a1l), fresh_ct(b0l, b1l))
@@ -485,6 +483,57 @@ def bench_config(
         )
     cell("hoisted_rotate", hoisted, independent)
 
+    # slot workloads: BSGS matvec + BSGS polynomial evaluation ------------
+    # "batched" is the fused path (one hoisted ModUp for the baby front,
+    # NTT-domain MAC inner sums / cached power tree); "looped" is the
+    # naive composition of the same formula (an independent rotation +
+    # plaintext multiply + accumulate per diagonal; every power re-derived
+    # per monomial).  The two are bit-identical by construction — asserted
+    # before timing, like every other cell.
+    dim = 64 if n >= 1024 else 16
+    encoder = CanonicalEncoder(ctx)
+    lin = SlotLinalg(
+        encoder,
+        Evaluator.from_keygen(keygen, rotations=SlotLinalg.matvec_rotations(dim)),
+    )
+    mat_rng = np.random.default_rng(0xA17)
+    matrix = mat_rng.uniform(-1, 1, (dim, dim))
+    mv_scale = 2.0**30
+
+    def fresh_scaled(l0, l1, scale):
+        return Ciphertext(RnsPolynomial(ctx, l0), RnsPolynomial(ctx, l1), scale=scale)
+
+    def fused_matvec():
+        return lin.matvec(fresh_scaled(a0l, a1l, mv_scale), matrix)
+
+    def naive_matvec():
+        return lin.matvec_naive(fresh_scaled(a0l, a1l, mv_scale), matrix)
+
+    got = fused_matvec()
+    ref = naive_matvec()
+    assert np.array_equal(got.c0.limbs, ref.c0.limbs), "matvec c0 differs"
+    assert np.array_equal(got.c1.limbs, ref.c1.limbs), "matvec c1 differs"
+    cell("matvec", fused_matvec, naive_matvec)
+
+    # The scale stack Delta^(bs*gs) must clear Q, so the degree and scale
+    # follow the limb budget: deg 7 at L >= 12, deg 3 on shallow bases.
+    if num_limbs >= 12:
+        pe_scale, pe_coeffs = 2.0**30, [0.3, -0.7, 0.2, 0.11, -0.05, 0.01, 0.02, -0.015]
+    else:
+        pe_scale, pe_coeffs = 2.0**24, [0.5, -1.0, 0.25, 0.125]
+
+    def fused_poly_eval():
+        return lin.poly_eval(fresh_scaled(a0l, a1l, pe_scale), pe_coeffs)
+
+    def naive_poly_eval():
+        return lin.poly_eval_naive(fresh_scaled(a0l, a1l, pe_scale), pe_coeffs)
+
+    got = fused_poly_eval()
+    ref = naive_poly_eval()
+    assert np.array_equal(got.c0.limbs, ref.c0.limbs), "poly_eval c0 differs"
+    assert np.array_equal(got.c1.limbs, ref.c1.limbs), "poly_eval c1 differs"
+    cell("poly_eval", fused_poly_eval, naive_poly_eval)
+
     for c in cells:
         c.update(
             n=n,
@@ -495,31 +544,81 @@ def bench_config(
     return cells
 
 
+def _cell_key(c: dict) -> tuple:
+    return (c["op"], c["n"], c["limbs"], c["method"])
+
+
+def _gated_pairs(
+    results: list[dict], baseline: dict
+) -> list[tuple[dict, dict]]:
+    """(current, baseline) cell pairs the gate compares.
+
+    A cell is gated when the baseline recorded the same
+    ``(op, n, limbs, method)`` with a median at or above the
+    :data:`MIN_GATED_MEDIAN_S` noise floor.
+    """
+    recorded = {_cell_key(c): c for c in baseline.get("results", [])}
+    pairs = []
+    for c in results:
+        base = recorded.get(_cell_key(c))
+        if (
+            base is not None
+            and base.get("batched_med_s", 0.0) >= MIN_GATED_MEDIAN_S
+        ):
+            pairs.append((c, base))
+    return pairs
+
+
+def matched_cells(results: list[dict], baseline: dict) -> list[tuple]:
+    """Keys of result cells the baseline actually gates.
+
+    The caller should treat an *empty* match set as a failure: a gate
+    that compares nothing is vacuously green, which is exactly the
+    silent failure mode a CI regression job exists to prevent.
+    """
+    return [_cell_key(c) for c, _ in _gated_pairs(results, baseline)]
+
+
 def compare_to_baseline(
     results: list[dict],
     baseline: dict,
     threshold: float = REGRESSION_THRESHOLD,
 ) -> list[str]:
-    """Regressions of the batched median vs a recorded baseline.
+    """Machine-normalized regressions of batched medians vs a baseline.
 
-    Cells are matched on ``(op, n, limbs, method)``; cells absent from
-    either side are skipped (a new kernel is not a regression), as are
-    baseline cells recorded before medians existed.  Returns one message
-    per cell whose batched median slowed by more than ``threshold``.
+    Raw wall-clock comparison across runs is dominated by host speed —
+    a throttled CI runner (or a faster one) would turn every cell red
+    (or green) regardless of the code, so each cell's batched median is
+    first normalized by the *total* batched median of the gated cell
+    set in its own run.  Whole-machine drift cancels exactly; a
+    regression in one cell barely moves the total and stands out.  The
+    trade-off is explicit: a change that slows every gated cell by the
+    same factor is indistinguishable from machine drift and passes —
+    CI hardware cannot catch uniform slowdowns without calibration.
+
+    Cells are matched on ``(op, n, limbs, method)``; unmatched cells,
+    baselines recorded before medians existed, and cells under the
+    :data:`MIN_GATED_MEDIAN_S` noise floor are skipped — use
+    :func:`matched_cells` to detect a gate that matches nothing at all.
+    Returns one message per cell whose normalized median slowed by more
+    than ``threshold``, naming the cell.
     """
-    key = lambda c: (c["op"], c["n"], c["limbs"], c["method"])  # noqa: E731
-    recorded = {key(c): c for c in baseline.get("results", [])}
+    pairs = _gated_pairs(results, baseline)
+    if not pairs:
+        return []
+    tot_new = sum(c["batched_med_s"] for c, _ in pairs)
+    tot_old = sum(b["batched_med_s"] for _, b in pairs)
+    drift = tot_new / tot_old
     regressions = []
-    for c in results:
-        base = recorded.get(key(c))
-        if base is None or "batched_med_s" not in base:
-            continue
+    for c, base in pairs:
         old, new = base["batched_med_s"], c["batched_med_s"]
-        if new > old * (1 + threshold):
+        ratio = (new / tot_new) / (old / tot_old)
+        if ratio > 1 + threshold:
             regressions.append(
                 f"{c['op']} N={c['n']} L={c['limbs']} {c['method']}: "
                 f"batched median {new*1e3:.3f} ms vs baseline "
-                f"{old*1e3:.3f} ms (+{(new/old - 1)*100:.0f}%)"
+                f"{old*1e3:.3f} ms (+{(ratio - 1)*100:.0f}% after "
+                f"dividing out the {drift:.2f}x whole-run drift)"
             )
     return regressions
 
@@ -547,7 +646,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    grid = SMOKE_GRID if args.smoke else FULL_GRID
+    # Full recording runs cover the smoke grid too: the committed
+    # BENCH_poly.json must contain the (256, 4) cells or CI's
+    # `--smoke --baseline` job would match nothing and gate nothing.
+    grid = SMOKE_GRID if args.smoke else SMOKE_GRID + FULL_GRID
     repeats = 3 if args.smoke else 5
     if args.baseline is not None:
         # The regression gate compares medians; a median of 3 is barely
@@ -586,13 +688,28 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.baseline is not None:
         baseline = json.loads(args.baseline.read_text())
+        matched = matched_cells(results, baseline)
+        if not matched:
+            print(
+                f"\nbaseline gate is VACUOUS: {args.baseline} records none "
+                "of the cells this run produced — refusing to pass a gate "
+                "that compares nothing (re-record the baseline)"
+            )
+            return 1
         regressions = compare_to_baseline(results, baseline)
         if regressions:
-            print(f"\n{len(regressions)} regression(s) vs {args.baseline}:")
+            print(
+                f"\n{len(regressions)} regression(s) vs {args.baseline} "
+                f"(>{REGRESSION_THRESHOLD:.0%} on the batched median; "
+                f"{len(matched)} cells gated):"
+            )
             for line in regressions:
                 print(f"  REGRESSION {line}")
             return 1
-        print(f"\nno regressions vs {args.baseline}")
+        print(
+            f"\nno regressions vs {args.baseline} "
+            f"({len(matched)} cells gated)"
+        )
     return 0
 
 

@@ -216,16 +216,11 @@ class BasisConverter:
         np.floor(fs, out=fs)
         np.copyto(v_row[0], fs, casting="unsafe")
         for j in ambiguous:
-            exact = sum(
-                int(x_hat[i, j]) * self._q_hat[i]
-                for i in range(len(self.src))
-            )
+            exact = sum(int(x_hat[i, j]) * self._q_hat[i] for i in range(len(self.src)))
             v_row[0, j] = exact // self.modulus
         return v_row
 
-    def convert(
-        self, x: np.ndarray, out: np.ndarray | None = None
-    ) -> np.ndarray:
+    def convert(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """``(L_in, N)`` residues in the source basis -> ``(L_out, N)``.
 
         Exact: output row ``j`` is ``X mod p_j`` for the canonical CRT
@@ -236,9 +231,7 @@ class BasisConverter:
         x_hat = self.scale(x)
         space = self._workspace()
         cross, work, sums = space[2:5]
-        self.reducer.mulmod_cross(
-            x_hat, self._m, self._m_sh, out=cross, work=work
-        )
+        self.reducer.mulmod_cross(x_hat, self._m, self._m_sh, out=cross, work=work)
         np.add.reduce(cross, axis=1, out=sums)
         acc = self._acc
         acc.reset()
@@ -283,9 +276,7 @@ class ModUp:
             )
         self.lo, self.hi = lo, hi
         self.num_ext = len(ext)
-        self.converter = BasisConverter(
-            ext[lo:hi], ext[:lo] + ext[hi:], ring_degree
-        )
+        self.converter = BasisConverter(ext[lo:hi], ext[:lo] + ext[hi:], ring_degree)
 
     def apply(self, digit: np.ndarray, out: np.ndarray) -> np.ndarray:
         """``digit`` (digit rows, coeff domain) -> ``out`` (L_ext, N)."""
@@ -322,9 +313,7 @@ class ModDown:
         self._q = col(self.base)
         pinv = [pow(self.p_modulus, -1, q) for q in self.base]
         self._pinv = col(pinv)
-        self._pinv_sh = col(
-            [(w << 32) // q for w, q in zip(pinv, self.base)]
-        )
+        self._pinv_sh = col([(w << 32) // q for w, q in zip(pinv, self.base)])
         shape = (len(self.base), self.n)
         self._s1 = np.empty(shape, np.uint64)
         self._s2 = np.empty(shape, np.uint64)
@@ -501,14 +490,10 @@ class KeySwitcher:
         self.dnum = dnum
         n = ctx.ring_degree
         ext_primes = self.ext_ctx.primes
-        self.modups = [
-            ModUp(ext_primes, lo, hi, n) for lo, hi in self.digits
-        ]
+        self.modups = [ModUp(ext_primes, lo, hi, n) for lo, hi in self.digits]
         self.moddown = ModDown(ctx.primes, self.aux, n)
         #: window engine over the auxiliary rows only (shared tables)
-        self.aux_batch = self.ext_ctx.batch_ntt.take_rows(
-            num_base, self.num_ext
-        )
+        self.aux_batch = self.ext_ctx.batch_ntt.take_rows(num_base, self.num_ext)
         ext_shape = (self.num_ext, n)
         self._ext_buf = np.empty(ext_shape, np.uint64)
         self._ahat = np.empty(ext_shape, np.uint64)
@@ -516,9 +501,7 @@ class KeySwitcher:
                    np.empty(ext_shape, np.uint64))
         self._conv_hat = np.empty((num_base, n), np.uint64)
         self._signed = ctx.method == "smr"
-        self._lanes = (
-            np.empty(ext_shape, np.int64) if self._signed else None
-        )
+        self._lanes = (np.empty(ext_shape, np.int64) if self._signed else None)
 
     @cached_property
     def _accs(self) -> tuple[LazyAccumulator, LazyAccumulator]:
@@ -584,9 +567,7 @@ class KeySwitcher:
         if not self.ctx.compatible(poly.ctx):
             raise ParameterError("polynomial context does not match switcher")
         coeff_limbs = poly.to_coeff().limbs
-        hoisted = np.empty(
-            (self.dnum, self.num_ext, self.ctx.ring_degree), np.uint64
-        )
+        hoisted = np.empty((self.dnum, self.num_ext, self.ctx.ring_degree), np.uint64)
         for d, (lo, hi) in enumerate(self.digits):
             self.modups[d].apply(coeff_limbs[lo:hi], self._ext_buf)
             self.ext_ctx.batch_ntt.forward(self._ext_buf, out=hoisted[d])
@@ -681,10 +662,7 @@ class KeySwitcher:
         self._check_key(ksk)
         if plan is None:
             plan = self.plan(poly, COEFF)
-        if (
-            plan.ext_primes != tuple(self.ext_ctx.primes)
-            or plan.dnum != self.dnum
-        ):
+        if (plan.ext_primes != tuple(self.ext_ctx.primes) or plan.dnum != self.dnum):
             raise ParameterError(
                 "plan was built for a different (extended basis, dnum) "
                 "configuration than this key's switcher"
@@ -728,20 +706,14 @@ class KeySwitcher:
                 pass  # fused into mod_down below (needs the conversion)
             elif op == "mod_down":
                 for c in (c0, c1):
-                    out = np.empty(
-                        (num_base, self.ctx.ring_degree), np.uint64
-                    )
+                    out = np.empty((num_base, self.ctx.ring_degree), np.uint64)
                     if plan.output_domain == COEFF:
                         self.moddown.apply(c, out)
                     else:
                         conv = self.moddown.converter.convert(c[num_base:])
                         self.ctx.batch_ntt.forward(conv, out=self._conv_hat)
-                        self.moddown.combine(
-                            c[:num_base], self._conv_hat, out
-                        )
-                    out_polys.append(
-                        RnsPolynomial(self.ctx, out, plan.output_domain)
-                    )
+                        self.moddown.combine(c[:num_base], self._conv_hat, out)
+                    out_polys.append(RnsPolynomial(self.ctx, out, plan.output_domain))
             else:  # pragma: no cover - planner and executor move together
                 raise ParameterError(f"unknown key-switch step {op!r}")
         return out_polys[0], out_polys[1]

@@ -131,14 +131,9 @@ class BatchNTT:
         self.backend = make_ntt_backend(method, primes)
 
         brv = bit_reverse_permutation(n)
-        fwd = np.stack(
-            [_power_table(psi, q, n)[brv] for psi, q in zip(psis, primes)]
-        )
+        fwd = np.stack([_power_table(psi, q, n)[brv] for psi, q in zip(psis, primes)])
         inv = np.stack(
-            [
-                _power_table(pow(psi, -1, q), q, n)[brv]
-                for psi, q in zip(psis, primes)
-            ]
+            [_power_table(pow(psi, -1, q), q, n)[brv] for psi, q in zip(psis, primes)]
         )
         self._fwd = self.backend.prepare_twiddles(fwd)
         self._inv = self.backend.prepare_twiddles(inv)
@@ -214,10 +209,7 @@ class BatchNTT:
             self.psis + extra.psis,
             tuple(np.concatenate([a, b]) for a, b in zip(self._fwd, extra._fwd)),
             tuple(np.concatenate([a, b]) for a, b in zip(self._inv, extra._inv)),
-            tuple(
-                np.concatenate([a, b])
-                for a, b in zip(self._n_inv, extra._n_inv)
-            ),
+            tuple(np.concatenate([a, b]) for a, b in zip(self._n_inv, extra._n_inv)),
         )
 
     def _clone(self, primes, psis, fwd, inv, n_inv) -> BatchNTT:
@@ -232,9 +224,7 @@ class BatchNTT:
         clone._fwd = fwd
         clone._inv = inv
         clone._n_inv = n_inv
-        clone._kernel = _KERNELS[self.method](
-            clone.primes, self.n, clone.backend.red
-        )
+        clone._kernel = _KERNELS[self.method](clone.primes, self.n, clone.backend.red)
         clone._kernel.set_tables(clone._fwd, clone._inv, clone._n_inv)
         return clone
 
@@ -643,9 +633,7 @@ class _MontgomeryKernel(_Canon32Kernel):
         c = _Layout()
         c.q = shape(np.array(self.primes, dtype=np.uint32))
         c.q64 = shape(np.array(self.primes, dtype=np.uint64))
-        c.q_inv_neg = shape(
-            self.reducer.q_inv_neg.reshape(-1).astype(np.uint32)
-        )
+        c.q_inv_neg = shape(self.reducer.q_inv_neg.reshape(-1).astype(np.uint32))
         return c
 
     def _cast_parts(self, parts):

@@ -135,9 +135,7 @@ class LazyAccumulator:
                 else np.int64(b)
             )
         elif hasattr(self.reducer, "mulmod"):
-            term = self.reducer.mulmod(np.asarray(a), b).astype(
-                self.acc.dtype
-            )
+            term = self.reducer.mulmod(np.asarray(a), b).astype(self.acc.dtype)
         else:  # Shoup multiplies by constants only; needs the companion
             w = int(b) if not isinstance(b, np.ndarray) else b
             if b_shoup is None:
@@ -150,9 +148,7 @@ class LazyAccumulator:
         self.terms += 1
         return self
 
-    def accumulate_value(
-        self, v: np.ndarray, max_abs: int
-    ) -> LazyAccumulator:
+    def accumulate_value(self, v: np.ndarray, max_abs: int) -> LazyAccumulator:
         """Add pre-reduced values with caller-declared worst-case |v|.
 
         Raises:
@@ -239,9 +235,7 @@ class LazyAccumulator:
             acc = self.reducer.reduce(acc)  # one Alg. 2 pass, into (-q, q)
             np.copyto(self.acc, acc)
             acc = self.acc
-        q = align_rows(
-            np.asarray(self.reducer.q, dtype=acc.dtype), acc.ndim
-        )
+        q = align_rows(np.asarray(self.reducer.q, dtype=acc.dtype), acc.ndim)
         np.remainder(acc, q, out=acc)  # floor-mod: canonical even if signed
         np.copyto(out, acc, casting="unsafe")
         return out

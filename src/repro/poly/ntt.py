@@ -77,9 +77,67 @@ def bit_reverse_permutation(n: int) -> np.ndarray:
     return rev
 
 
-def automorphism_tables(
-    n: int, k: int
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+@lru_cache(maxsize=64)
+def complex_root_powers(n: int) -> np.ndarray:
+    """All ``2N`` complex ``2N``-th roots of unity, indexed by exponent.
+
+    ``complex_root_powers(n)[k] == exp(i * pi * k / n)`` — the complex
+    analogue of the modular psi power tables the NTT engines build: the
+    canonical-embedding encoder's special FFT twiddles are slices of this
+    table, and the big-int reference evaluator's slot oracle evaluates
+    polynomials against it directly (exponents reduced mod ``2N`` by
+    index, so no ``psi**k`` drift accumulates).  Cached per ``N`` and
+    read-only.
+    """
+    if n <= 0 or n & (n - 1):
+        raise ParameterError(f"root table needs a power-of-two N, got {n}")
+    table = np.exp(1j * np.pi * np.arange(2 * n) / n)
+    table.flags.writeable = False
+    return table
+
+
+@lru_cache(maxsize=64)
+def canonical_slot_tables(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Slot-orbit index tables for the canonical embedding, cached per N.
+
+    The encoder's ``N/2`` slots are the evaluations at the primitive
+    ``2N``-th roots ``psi^(5^j mod 2N)``, *orbit-ordered* by powers of 5 —
+    the same generator :data:`repro.scheme.keys.ROTATION_GEN` the Galois
+    rotation elements use, which is exactly why ``Evaluator.rotate(k)``
+    acts as a cyclic slot shift and ``conjugate`` as slot-wise
+    conjugation.  Returns two read-only arrays mapping orbit position
+    ``j`` into the engines' bit-reversed NTT slot ordering (slot ``t``
+    evaluates at ``psi^(2*brv[t]+1)``, see :func:`automorphism_tables`):
+
+    * ``slot_idx[j]`` — the NTT slot holding the evaluation at
+      ``psi^(5^j)``;
+    * ``conj_idx[j]`` — the NTT slot holding the evaluation at
+      ``psi^(-5^j)``, the conjugate point (real-coefficient polynomials
+      take conjugate values there, which is what makes ``N`` real
+      coefficients carry exactly ``N/2`` free complex slots).
+
+    Together the two arrays enumerate all ``N`` odd residues mod ``2N``
+    (the orbit of 5 and its negation partition them), so scatter-by-both
+    followed by the inverse transform is a bijection.
+    """
+    if n < 4 or n & (n - 1):
+        raise ParameterError(
+            f"slot tables need a power-of-two N >= 4, got {n}"
+        )
+    brv = bit_reverse_permutation(n)
+    exps = np.empty(n // 2, dtype=np.int64)
+    e = 1
+    for j in range(n // 2):
+        exps[j] = e
+        e = (e * 5) % (2 * n)
+    slot_idx = brv[(exps - 1) // 2]
+    conj_idx = brv[(2 * n - exps - 1) // 2]
+    for arr in (slot_idx, conj_idx):
+        arr.flags.writeable = False
+    return slot_idx, conj_idx
+
+
+def automorphism_tables(n: int, k: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Cached per ``(N, k)`` index tables for the Galois map ``X -> X^k``.
 
     ``k`` must be odd (i.e. coprime to ``2N``), so ``sigma_k`` is a ring
@@ -113,9 +171,7 @@ def automorphism_tables(
 
 
 @lru_cache(maxsize=128)
-def _automorphism_tables(
-    n: int, k: int
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+def _automorphism_tables(n: int, k: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """The cached body of :func:`automorphism_tables` (``k`` reduced)."""
     idx = np.arange(n, dtype=np.int64)
     exp = (idx * k) % (2 * n)
@@ -340,9 +396,7 @@ class NegacyclicNTT:
         brv = bit_reverse_permutation(n)
         self._fwd = self.backend.prepare_twiddles(_power_table(psi, q, n)[brv])
         psi_inv = pow(psi, -1, q)
-        self._inv = self.backend.prepare_twiddles(
-            _power_table(psi_inv, q, n)[brv]
-        )
+        self._inv = self.backend.prepare_twiddles(_power_table(psi_inv, q, n)[brv])
         self._n_inv = self.backend.prepare_twiddles(
             np.array([pow(n, -1, q)], dtype=np.uint64)
         )
@@ -442,13 +496,23 @@ class NegacyclicNTT:
         return self.inverse(self.pointwise(self.forward(a), self.forward(b)))
 
 
+@lru_cache(maxsize=4096)
 def _power_table(base: int, q: int, n: int) -> np.ndarray:
-    """[base^0, base^1, ..., base^(n-1)] mod q as uint64."""
+    """[base^0, base^1, ..., base^(n-1)] mod q as uint64, cached.
+
+    Shared root-table plumbing: the per-prime engines, the batched
+    limb-matrix tables, and every extended-basis rebuild gather their
+    bit-reversed twiddles out of this one cache, so reconstructing a
+    context (tests, benchmarks, encoder/evaluator pairs) never recomputes
+    a root chain it has already walked.  Returned read-only; callers
+    gather through ``[brv]`` (which copies) before mutating layouts.
+    """
     powers = np.empty(n, dtype=np.uint64)
     acc = 1
     for i in range(n):
         powers[i] = acc
         acc = acc * base % q
+    powers.flags.writeable = False
     return powers
 
 

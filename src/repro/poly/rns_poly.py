@@ -298,15 +298,11 @@ class PolyContext:
         key = ("down", num_aux)
         kern = self._basis_kernels.get(key)
         if kern is None:
-            kern = ModDown(
-                base.primes, self.primes[-num_aux:], self.ring_degree
-            )
+            kern = ModDown(base.primes, self.primes[-num_aux:], self.ring_degree)
             self._basis_kernels[key] = kern
         return kern
 
-    def key_switcher(
-        self, aux_primes: Sequence[Prime | int], dnum: int
-    ):
+    def key_switcher(self, aux_primes: Sequence[Prime | int], dnum: int):
         """The cached fused key-switching pipeline for ``(P, dnum)``."""
         from repro.poly.basis_conv import KeySwitcher
 
@@ -399,10 +395,7 @@ class PolyContext:
     def random(self, rng: np.random.Generator) -> RnsPolynomial:
         """Uniform element of R_Q, sampled limb-wise (for tests/benchmarks)."""
         limbs = np.stack(
-            [
-                rng.integers(0, q, self.ring_degree, dtype=np.uint64)
-                for q in self.primes
-            ]
+            [rng.integers(0, q, self.ring_degree, dtype=np.uint64) for q in self.primes]
         )
         return RnsPolynomial(self, limbs, COEFF)
 
@@ -525,9 +518,7 @@ class RnsPolynomial:
     def negate(self) -> RnsPolynomial:
         q = self.ctx.moduli
         neg = np.where(self.limbs == 0, self.limbs, q - self.limbs)
-        return RnsPolynomial(
-            self.ctx, neg, self.domain, scale=self.state.scale
-        )
+        return RnsPolynomial(self.ctx, neg, self.domain, scale=self.state.scale)
 
     def __add__(self, other: RnsPolynomial) -> RnsPolynomial:
         return self.add(other)
@@ -617,9 +608,7 @@ class RnsPolynomial:
             out = batch.automorphism_ntt(self.limbs, k)
         else:
             out = batch.automorphism_coeff(self.limbs, k)
-        return RnsPolynomial(
-            self.ctx, out, self.domain, scale=self.state.scale
-        )
+        return RnsPolynomial(self.ctx, out, self.domain, scale=self.state.scale)
 
     # -- multiplication ----------------------------------------------------
     def prepared_operand(self) -> tuple[np.ndarray, ...]:
@@ -633,9 +622,7 @@ class RnsPolynomial:
         if self.domain != NTT:
             raise LayoutError("prepared operands require the NTT domain")
         if self.state.prepared is None:
-            self.state.prepared = self.ctx.batch_ntt.prepare_operand(
-                self.limbs
-            )
+            self.state.prepared = self.ctx.batch_ntt.prepare_operand(self.limbs)
         return self.state.prepared
 
     def pointwise_multiply(self, other: RnsPolynomial) -> RnsPolynomial:
@@ -799,9 +786,7 @@ class RnsPolynomial:
         np.bitwise_and(s1, np.uint64(0xFFFFFFFF), out=s1)  # in [0, 2q)
         np.subtract(s1, q, out=s2)
         out = np.minimum(s1, s2)
-        return RnsPolynomial(
-            child, out, COEFF, scale=self.state.scale / q_last
-        )
+        return RnsPolynomial(child, out, COEFF, scale=self.state.scale / q_last)
 
     # -- basis conversion / key switching (§4.3) ---------------------------
     def mod_up(self, aux_primes: Sequence[Prime | int]) -> RnsPolynomial:

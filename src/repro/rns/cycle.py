@@ -85,8 +85,7 @@ class RescalingCycle:
     def peak_terminals(self) -> int:
         return max(
             max(self.terminal_counts),
-            max(c + m.terminal_delta
-                for c, m in zip(self.terminal_counts, self.moves)),
+            max(c + m.terminal_delta for c, m in zip(self.terminal_counts, self.moves)),
         )
 
     @property

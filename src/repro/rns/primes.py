@@ -20,10 +20,13 @@ from dataclasses import dataclass, field
 
 from repro.errors import ParameterError, PrimeSearchError
 
+# A packed constant table reads better than one prime per line.
+# fmt: off
 _SMALL_PRIMES = (
     2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
     71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
 )
+# fmt: on
 
 # Deterministic Miller-Rabin witness sets (Sinclair / Feitsma bounds).
 _MR_WITNESSES_64 = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
@@ -199,10 +202,7 @@ def digit_ranges(num_limbs: int, dnum: int) -> list[tuple[int, int]]:
             f"{num_limbs}-limb basis"
         )
     alpha = -(-num_limbs // dnum)
-    return [
-        (lo, min(lo + alpha, num_limbs))
-        for lo in range(0, num_limbs, alpha)
-    ]
+    return [(lo, min(lo + alpha, num_limbs)) for lo in range(0, num_limbs, alpha)]
 
 
 @dataclass

@@ -1,16 +1,21 @@
-"""Scheme layer: RLWE ciphertexts and the homomorphic evaluator.
+"""Scheme layer: RLWE ciphertexts, SIMD encoding, and the evaluator.
 
 Built on :mod:`repro.poly`: keys ride the hybrid key-switching pipeline,
 rotations ride the Galois index-permutation kernels and the hoisted
 (shared-ModUp) schedule, rescaling rides ``exact_rescale`` — and
 :class:`SchemeCostModel` prices each composite op as a sum of the
-already-priced Table-3 kernels.  :class:`ReferenceEvaluator` is the
-exact big-int/CRT plaintext-side oracle the end-to-end tests compare
+already-priced Table-3 kernels.  :class:`CanonicalEncoder` packs complex
+slot vectors through the canonical embedding (rotations become cyclic
+slot shifts), :class:`SlotLinalg` runs the slot-wise workloads (BSGS
+matvec and polynomial evaluation) on top, and
+:class:`ReferenceEvaluator` is the exact big-int/CRT plaintext-side
+oracle — now with direct slot semantics — the end-to-end tests compare
 against.
 """
 
 from repro.scheme.ciphertext import Ciphertext, Plaintext
 from repro.scheme.cost import SchemeCostModel
+from repro.scheme.encoder import CanonicalEncoder, special_fft, special_ifft
 from repro.scheme.evaluator import Evaluator
 from repro.scheme.keys import (
     DEFAULT_SIGMA,
@@ -23,10 +28,12 @@ from repro.scheme.keys import (
     sample_error,
     sample_ternary,
 )
+from repro.scheme.linalg import SlotLinalg, bsgs_split
 from repro.scheme.reference import ReferenceEvaluator
 
 __all__ = [
     "DEFAULT_SIGMA",
+    "CanonicalEncoder",
     "Ciphertext",
     "Evaluator",
     "KeyGenerator",
@@ -35,9 +42,13 @@ __all__ = [
     "ReferenceEvaluator",
     "SchemeCostModel",
     "SecretKey",
+    "SlotLinalg",
+    "bsgs_split",
     "conjugation_element",
     "galois_element",
     "lift_signed",
     "sample_error",
     "sample_ternary",
+    "special_fft",
+    "special_ifft",
 ]

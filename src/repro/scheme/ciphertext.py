@@ -9,12 +9,17 @@ mismatches raise :class:`~repro.errors.LevelError`, scale mismatches
 :class:`~repro.errors.ScaleMismatchError`) instead of silently producing
 garbage.
 
-:class:`Plaintext` is the coefficient-packed encoding: a real vector is
-scaled by ``Delta`` and rounded into integer polynomial coefficients.
-Galois automorphisms act on this packing as signed index permutations of
-the coefficients (under the canonical-embedding slot packing of a later
-PR the same automorphisms become slot rotations — the ring-level
-machinery is identical).
+:class:`Plaintext` wraps either packing: the plain coefficient encoding
+(a real vector scaled by ``Delta`` and rounded into polynomial
+coefficients, ``slots is None``) or the canonical-embedding SIMD packing
+produced by :class:`~repro.scheme.encoder.CanonicalEncoder`, in which
+case ``slots`` records the packed slot count — a value that must divide
+``N/2`` (the embedding has exactly ``N/2`` conjugate-pair evaluation
+points, and only divisors replicate into well-defined sparse packings);
+anything else raises :class:`~repro.errors.ParameterError` naming the
+offending count.  Galois automorphisms act on the coefficient packing as
+signed index permutations and on the slot packing as cyclic slot
+rotations — the ring-level machinery is identical.
 """
 
 from __future__ import annotations
@@ -33,12 +38,38 @@ class Plaintext:
     Thin wrapper over an :class:`RnsPolynomial` whose
     ``state.scale`` records the encoding factor ``Delta``:
     coefficient ``j`` holds ``round(values[j] * Delta)``.
+
+    ``slots`` is ``None`` for the plain coefficient packing, or the
+    SIMD slot count for canonical-embedding encodings (validated via
+    :meth:`validate_slots`: it must divide ``N/2``).
     """
 
-    __slots__ = ("poly",)
+    __slots__ = ("poly", "slots")
 
-    def __init__(self, poly: RnsPolynomial) -> None:
+    def __init__(self, poly: RnsPolynomial, *, slots: int | None = None) -> None:
         self.poly = poly
+        if slots is not None:
+            slots = self.validate_slots(poly.ctx.ring_degree, slots)
+        self.slots = slots
+
+    @staticmethod
+    def validate_slots(ring_degree: int, slots) -> int:
+        """``slots`` as an int iff it divides ``N/2``; ParameterError else.
+
+        The canonical embedding offers exactly ``N/2`` slots; a sparse
+        packing replicates a length-``s`` vector ``(N/2)/s`` times, which
+        is only well defined (and only rotation-compatible) when ``s``
+        divides ``N/2`` — any other count used to be accepted silently
+        and decoded to garbage.
+        """
+        half = ring_degree // 2
+        slots = int(slots)
+        if slots < 1 or half % slots != 0:
+            raise ParameterError(
+                f"slot count {slots} does not divide N/2 = {half} "
+                f"(ring degree {ring_degree})"
+            )
+        return slots
 
     @property
     def ctx(self) -> PolyContext:
@@ -53,9 +84,7 @@ class Plaintext:
         return self.poly.state.level
 
     @classmethod
-    def encode(
-        cls, ctx: PolyContext, values, scale: float
-    ) -> Plaintext:
+    def encode(cls, ctx: PolyContext, values, scale: float) -> Plaintext:
         """Encode a real vector (length <= N, zero-padded) at ``scale``."""
         if scale <= 0:
             raise ParameterError(f"encoding scale must be > 0, got {scale}")

@@ -21,6 +21,8 @@ the split is an accounting view, not a second cost model.
 
 from __future__ import annotations
 
+import math
+
 from repro.errors import ParameterError
 from repro.poly.cost import CostModel, OpCost, _merge
 from repro.rns.primes import digit_ranges
@@ -154,6 +156,157 @@ class SchemeCostModel:
             per.scaled(count),
         )
 
+    # -- slot-workload composites (the linalg layer) -----------------------
+    def multiply_plain(self) -> OpCost:
+        """Plaintext multiply of both components, plaintext transform shared.
+
+        ``ct.c0 * pt`` and ``ct.c1 * pt``: three L-row forward NTTs (the
+        plaintext's transform is twin-cached after the first component),
+        two pointwise passes, two inverses.
+        """
+        limbs = self.poly.num_limbs
+        cost = self.poly.ntt().scaled(3 * limbs, "multiply_plain")
+        cost = _merge(cost, self.poly.pointwise().scaled(2 * limbs))
+        return _merge(cost, self.poly.intt().scaled(2 * limbs))
+
+    @staticmethod
+    def _bsgs(count: int, baby_steps: int | None) -> tuple[int, int]:
+        if count < 1:
+            raise ParameterError(f"BSGS needs >= 1 term, got {count}")
+        if baby_steps is None:
+            bs = math.isqrt(count)
+            if bs * bs < count:
+                bs += 1
+        else:
+            bs = int(baby_steps)
+            if bs < 1:
+                raise ParameterError(f"baby_steps must be >= 1, got {bs}")
+        return bs, -(-count // bs)
+
+    def matvec(self, dim: int, *, baby_steps: int | None = None) -> OpCost:
+        """BSGS diagonal matvec: the fused slot-workload composite.
+
+        One hoisted baby front (``bs - 1`` indices sharing a ModUp), the
+        baby components' forward transforms paid once and reused across
+        every giant step, a fused two-component MAC plus one inverse pair
+        per giant step, the ``dim`` per-diagonal plaintext transforms,
+        ``gs - 1`` giant rotations and the final component adds — all
+        priced from the existing hoisted-rotate / MAC / NTT entries.
+        """
+        bs, gs = self._bsgs(dim, baby_steps)
+        limbs = self.poly.num_limbs
+        cost = OpCost("matvec", self.poly.method, 0, 0)
+        if bs > 1:
+            cost = _merge(cost, self.hoisted_rotate(bs - 1))
+        cost = _merge(cost, self.poly.ntt().scaled((dim + 2 * bs) * limbs))
+        for g in range(gs):
+            terms = min(bs, dim - g * bs)
+            cost = _merge(cost, self.poly.multiply_accumulate(terms).scaled(2))
+        cost = _merge(cost, self.poly.intt().scaled(2 * gs * limbs))
+        if gs > 1:
+            cost = _merge(cost, self.rotate().scaled(gs - 1))
+            cost = _merge(cost, self.poly.add().scaled(2 * (gs - 1)))
+        return cost
+
+    def matvec_naive(self, dim: int, *, baby_steps: int | None = None) -> OpCost:
+        """The per-diagonal composition the benchmark compares against.
+
+        One independent rotation per off-baseline diagonal (``dim - gs``
+        of them — nothing is hoisted, nothing reused), a full
+        :meth:`multiply_plain` per diagonal, per-term component adds, and
+        the same ``gs - 1`` giant rotations.
+        """
+        bs, gs = self._bsgs(dim, baby_steps)
+        cost = self.rotate().scaled(dim - gs, "matvec_naive")
+        cost = _merge(cost, self.multiply_plain().scaled(dim))
+        cost = _merge(cost, self.poly.add().scaled(2 * (dim - gs)))
+        if gs > 1:
+            cost = _merge(cost, self.rotate().scaled(gs - 1))
+            cost = _merge(cost, self.poly.add().scaled(2 * (gs - 1)))
+        return cost
+
+    def _poly_eval_schedule(
+        self, count: int, bs: int, gs: int, cached: bool
+    ) -> tuple[int, int, int]:
+        """``(hmults, plain_mults, ct_adds)`` of the BSGS schedule.
+
+        Walks the same balanced halving power tree as the implementation
+        (``x^k = x^(k - k//2) * x^(k//2)``) over the same call sequence
+        — including the bare-giant case, where a block with an empty
+        inner sum rides ``multiply_plain(x^(g*bs), const)`` instead of a
+        ciphertext product.  ``cached`` counts each power once (the fast
+        path); uncached recounts the whole subtree per use (the naive
+        composition).  Assumes every coefficient is nonzero.
+        """
+        have = {1}
+        hmults = 0
+
+        def power(k: int) -> None:
+            nonlocal hmults
+            if k in have if cached else k == 1:
+                return
+            power(k - k // 2)
+            power(k // 2)
+            hmults += 1
+            if cached:
+                have.add(k)
+
+        plain = 0
+        adds = 0
+        groups = 0
+        for g in range(gs):
+            inner_terms = 0
+            for b in range(1, bs):
+                if g * bs + b >= count:
+                    break
+                power(b)
+                plain += 1  # multiply_plain(x^b, c_k)
+                inner_terms += 1
+            if inner_terms:
+                adds += inner_terms - 1
+                if g:
+                    power(g * bs)
+                    hmults += 1  # x^(g*bs) * inner
+                groups += 1
+            elif g and g * bs < count:
+                # bare giant block: multiply_plain(x^(g*bs), const)
+                power(g * bs)
+                plain += 1
+                groups += 1
+            # a bare g == 0 block is the tail constant: add_plain only
+        adds += max(0, groups - 1)
+        return hmults, plain, adds
+
+    def _poly_eval(
+        self, degree: int, baby_steps: int | None, *, cached: bool
+    ) -> OpCost:
+        if degree < 1:
+            raise ParameterError(
+                f"poly_eval needs degree >= 1, got {degree}"
+            )
+        count = degree + 1
+        bs, gs = self._bsgs(count, baby_steps)
+        hmults, plain, adds = self._poly_eval_schedule(count, bs, gs, cached)
+        name = "poly_eval" if cached else "poly_eval_naive"
+        cost = self.hmult().scaled(hmults, name)
+        cost = _merge(cost, self.multiply_plain().scaled(plain))
+        if adds:
+            cost = _merge(cost, self.poly.add().scaled(2 * adds))
+        return cost
+
+    def poly_eval(self, degree: int, *, baby_steps: int | None = None) -> OpCost:
+        """BSGS (Paterson–Stockmeyer) polynomial evaluation, powers cached.
+
+        ``hmult``-priced ciphertext products for the shared power tree
+        and the giant-step combinations, ``multiply_plain`` per baby
+        term, component adds for the accumulations.
+        """
+        return self._poly_eval(degree, baby_steps, cached=True)
+
+    def poly_eval_naive(self, degree: int, *, baby_steps: int | None = None) -> OpCost:
+        """Per-monomial power recomputation of the same evaluation tree."""
+        return self._poly_eval(degree, baby_steps, cached=False)
+
     def operations(self) -> list[OpCost]:
         return [
             self.relinearize(),
@@ -161,6 +314,11 @@ class SchemeCostModel:
             self.rescale(),
             self.rotate(),
             self.hoisted_rotate(4),
+            self.multiply_plain(),
+            self.matvec(16),
+            self.matvec_naive(16),
+            self.poly_eval(7),
+            self.poly_eval_naive(7),
         ]
 
     def table(self) -> str:

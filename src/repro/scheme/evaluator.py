@@ -133,13 +133,9 @@ class Evaluator:
         v = lift_signed(ctx, sample_ternary(rng, n)).to_ntt()
         e0 = lift_signed(ctx, sample_error(rng, n, sigma=self.sigma))
         e1 = lift_signed(ctx, sample_error(rng, n, sigma=self.sigma))
-        c0 = v.pointwise_multiply(pk.b).to_coeff().add(e0).add(
-            pt.poly.to_coeff()
-        )
+        c0 = v.pointwise_multiply(pk.b).to_coeff().add(e0).add(pt.poly.to_coeff())
         c1 = v.pointwise_multiply(pk.a).to_coeff().add(e1)
-        return Ciphertext(
-            c0, c1, scale=pt.scale, noise_bits=self._fresh_bits
-        )
+        return Ciphertext(c0, c1, scale=pt.scale, noise_bits=self._fresh_bits)
 
     def decrypt(self, ct: Ciphertext, sk: SecretKey) -> Plaintext:
         """``c0 + c1 * s`` at the ciphertext's level, as a plaintext."""
@@ -272,9 +268,7 @@ class Evaluator:
 
     def _ks_bits(self, ksk: KeySwitchKey) -> float:
         """Heuristic key-switching noise: ``sum_d x_d e_d / P`` spread."""
-        return math.log2(
-            self.sigma * ksk.dnum * self.ctx.ring_degree
-        )
+        return math.log2(self.sigma * ksk.dnum * self.ctx.ring_degree)
 
     # -- rescaling ---------------------------------------------------------
     def rescale(self, ct: Ciphertext) -> Ciphertext:
@@ -291,9 +285,7 @@ class Evaluator:
             ct.noise_bits - math.log2(q_last),
             0.5 * math.log2(ct.ctx.ring_degree) + 1.0,  # rounding floor
         )
-        return Ciphertext(
-            c0, c1, scale=ct.scale / q_last, noise_bits=noise
-        )
+        return Ciphertext(c0, c1, scale=ct.scale / q_last, noise_bits=noise)
 
     # -- Galois rotations --------------------------------------------------
     def _galois_key_for(self, k: int, op: str) -> KeySwitchKey:
@@ -329,15 +321,20 @@ class Evaluator:
         return self._finish_galois(ct, switcher, hoisted, k, ksk)
 
     def rotate(self, ct: Ciphertext, rotation: int) -> Ciphertext:
-        """Rotate by ``rotation`` slots (Galois element ``5^rotation``)."""
-        return self.apply_galois(
-            ct, galois_element(rotation, self.ctx.ring_degree)
-        )
+        """Rotate by ``rotation`` slots (Galois element ``5^rotation``).
+
+        Under the canonical-embedding packing
+        (:class:`~repro.scheme.encoder.CanonicalEncoder`, slots
+        orbit-ordered by powers of 5) this is exactly the cyclic shift
+        ``np.roll(slots, -rotation)``; on a sparse packing the shift
+        wraps mod the packed slot count.
+        """
+        return self.apply_galois(ct, galois_element(rotation, self.ctx.ring_degree))
 
     def conjugate(self, ct: Ciphertext) -> Ciphertext:
-        return self.apply_galois(
-            ct, conjugation_element(self.ctx.ring_degree)
-        )
+        """``sigma_{-1}``: slot-wise complex conjugation under the
+        canonical-embedding packing."""
+        return self.apply_galois(ct, conjugation_element(self.ctx.ring_degree))
 
     def rotate_hoisted(
         self, ct: Ciphertext, rotations: Sequence[int]
@@ -360,10 +357,7 @@ class Evaluator:
         first = keys[0]
         for k, ksk in zip(elements, keys):
             self._check_key_level(ksk, ct, "rotate_hoisted")
-            if (
-                ksk.aux_primes != first.aux_primes
-                or ksk.dnum != first.dnum
-            ):
+            if (ksk.aux_primes != first.aux_primes or ksk.dnum != first.dnum):
                 raise ParameterError(
                     "rotate_hoisted: all Galois keys must share one "
                     "(aux basis, dnum) configuration to share a ModUp"

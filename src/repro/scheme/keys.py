@@ -186,9 +186,7 @@ class KeyGenerator:
     def _public_key(self) -> PublicKey:
         ctx = self.ctx
         a = ctx.random(self.rng)
-        e = lift_signed(
-            ctx, sample_error(self.rng, ctx.ring_degree, sigma=self.sigma)
-        )
+        e = lift_signed(ctx, sample_error(self.rng, ctx.ring_degree, sigma=self.sigma))
         b = e.sub(a.multiply(self.secret.poly(ctx)))
         return PublicKey(b, a)
 

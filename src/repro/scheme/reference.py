@@ -20,7 +20,11 @@ import math
 import numpy as np
 
 from repro.errors import ParameterError
-from repro.poly.ntt import NegacyclicNTT, automorphism_tables
+from repro.poly.ntt import (
+    NegacyclicNTT,
+    automorphism_tables,
+    complex_root_powers,
+)
 from repro.rns.primes import ntt_friendly_primes
 
 
@@ -38,9 +42,7 @@ class ReferenceEvaluator:
         self.n = int(ring_degree)
         self.bound = 1 << int(coeff_bound_bits)
         count = (coeff_bound_bits + 1) // 29 + 1
-        self.primes = [
-            p.value for p in ntt_friendly_primes(30, count, self.n)
-        ]
+        self.primes = [p.value for p in ntt_friendly_primes(30, count, self.n)]
         self.engines = [
             NegacyclicNTT(q, self.n, "barrett") for q in self.primes
         ]
@@ -91,9 +93,47 @@ class ReferenceEvaluator:
         """``sigma_k`` on integer coefficients: signed index permutation."""
         a = self._check(a, "automorphism")
         src, neg, _ = automorphism_tables(self.n, k)
-        return [
-            -a[src[j]] if neg[j] else a[src[j]] for j in range(self.n)
-        ]
+        return [-a[src[j]] if neg[j] else a[src[j]] for j in range(self.n)]
+
+    def slot_values(self, a, *, indices=None) -> np.ndarray:
+        """Canonical-embedding slots of integer coefficients, directly.
+
+        Slot semantics for the exact reference path: slot ``j`` is the
+        evaluation ``sum_i a_i * zeta^(i * 5^j mod 2N)`` at the complex
+        primitive ``2N``-th root ``zeta = exp(i*pi/N)``, orbit-ordered
+        by powers of 5 exactly like the SIMD encoder — but computed as a
+        *direct* inner product against the exact-index root table, fully
+        independent of the encoder's special-FFT butterfly network, so
+        the two can cross-check each other.  ``indices`` restricts the
+        evaluation to selected orbit positions (the direct sum is
+        ``O(N)`` per slot, so spot checks at large ``N`` stay cheap).
+        """
+        a = self._check(a, "slot_values")
+        roots = complex_root_powers(self.n)
+        coeffs = np.array([float(c) for c in a], dtype=np.float64)
+        if indices is None:
+            indices = range(self.n // 2)
+        i = np.arange(self.n, dtype=np.int64)
+        out = np.empty(len(indices), dtype=np.complex128)
+        for pos, j in enumerate(indices):
+            e = pow(5, int(j), 2 * self.n)
+            out[pos] = np.dot(coeffs, roots[(i * e) % (2 * self.n)])
+        return out
+
+    def matvec_slots(self, matrix, slots) -> np.ndarray:
+        """Plaintext-side expected slots of a matrix-vector workload.
+
+        The slot-domain oracle the linalg tests compare decrypted BSGS
+        results against: plain ``M @ z`` in float, stated here so the
+        reference evaluator owns all expected-value computation.
+        """
+        matrix = np.asarray(matrix, dtype=np.complex128)
+        slots = np.asarray(slots, dtype=np.complex128).ravel()
+        if matrix.shape != (slots.size, slots.size):
+            raise ParameterError(
+                f"matrix {matrix.shape} does not act on {slots.size} slots"
+            )
+        return matrix @ slots
 
     def rescale(self, a, divisor: int) -> list[int]:
         """Round-to-nearest exact division, matching ``exact_rescale``.

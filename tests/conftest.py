@@ -12,9 +12,7 @@ from repro.rns.primes import PrimePool
 @pytest.fixture(scope="session")
 def pool64() -> PrimePool:
     """A small 25-30 construction over N=64 shared by most tests."""
-    return PrimePool.generate(
-        64, num_main=4, num_terminal=2, num_aux=1
-    )
+    return PrimePool.generate(64, num_main=4, num_terminal=2, num_aux=1)
 
 
 @pytest.fixture()

@@ -85,9 +85,7 @@ def test_coeff_vs_ntt_domain_bit_equality(ctx, method, rng):
         assert via_ntt.domain == NTT
         assert np.array_equal(via_coeff.limbs, via_ntt.limbs), (method, k)
         # ...and back down: the coeff-domain images agree too.
-        assert np.array_equal(
-            via_ntt.to_coeff().limbs, a.automorphism(k).limbs
-        )
+        assert np.array_equal(via_ntt.to_coeff().limbs, a.automorphism(k).limbs)
 
 
 @pytest.mark.parametrize("domain", ("coeff", "ntt"))
@@ -111,9 +109,7 @@ def test_inverse_orbits(ctx, domain, rng):
         a = a.to_ntt()
     for k in (3, 5, 77, 2 * N - 1):
         k_inv = pow(k, -1, 2 * N)
-        assert np.array_equal(
-            a.automorphism(k).automorphism(k_inv).limbs, a.limbs
-        )
+        assert np.array_equal(a.automorphism(k).automorphism(k_inv).limbs, a.limbs)
     cur = a
     for step in range(1, N // 2):
         cur = cur.automorphism(5)

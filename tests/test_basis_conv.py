@@ -77,33 +77,25 @@ def residues(values: list[int], primes: list[int]) -> np.ndarray:
 class TestBasisConverter:
     def test_matches_bigint_reference(self, base_primes, aux_primes, rng):
         conv = BasisConverter(base_primes, aux_primes, N)
-        x = np.stack(
-            [rng.integers(0, q, N, dtype=np.uint64) for q in base_primes]
-        )
+        x = np.stack([rng.integers(0, q, N, dtype=np.uint64) for q in base_primes])
         got = conv.convert(x)
         expect = residues(crt_lift(base_primes, x), aux_primes)
         assert np.array_equal(got, expect)
 
     @pytest.mark.parametrize("offset", [0, 1, -1, 12345])
-    def test_boundary_representatives_exact(
-        self, base_primes, aux_primes, offset
-    ):
+    def test_boundary_representatives_exact(self, base_primes, aux_primes, offset):
         """X near 0 and near Q exercises the exact-v guard: the float
         correction alone cannot decide these, the big-int fallback must."""
         conv = BasisConverter(base_primes, aux_primes, N)
         value = offset % conv.modulus
         x = residues([value] * N, base_primes)
         got = conv.convert(x)
-        expect = np.array(
-            [[value % p] * N for p in aux_primes], dtype=np.uint64
-        )
+        expect = np.array([[value % p] * N for p in aux_primes], dtype=np.uint64)
         assert np.array_equal(got, expect)
 
     def test_scale_step_is_inverse_crt_weights(self, base_primes, rng):
         conv = BasisConverter(base_primes, base_primes[:1], N)
-        x = np.stack(
-            [rng.integers(0, q, N, dtype=np.uint64) for q in base_primes]
-        )
+        x = np.stack([rng.integers(0, q, N, dtype=np.uint64) for q in base_primes])
         got = conv.scale(x)
         for i, q in enumerate(base_primes):
             w = pow(conv.modulus // q, -1, q)
@@ -119,9 +111,7 @@ class TestBasisConverter:
 
     def test_convert_into_caller_buffer(self, base_primes, aux_primes, rng):
         conv = BasisConverter(base_primes, aux_primes, N)
-        x = np.stack(
-            [rng.integers(0, q, N, dtype=np.uint64) for q in base_primes]
-        )
+        x = np.stack([rng.integers(0, q, N, dtype=np.uint64) for q in base_primes])
         out = np.empty((len(aux_primes), N), np.uint64)
         got = conv.convert(x, out=out)
         assert got is out
@@ -147,18 +137,11 @@ class TestBasisConverter:
 class TestMulmodCross:
     def test_matches_per_pair_mulmod_const(self, base_primes, aux_primes, rng):
         red = ShoupReducer(aux_primes)
-        x = np.stack(
-            [rng.integers(0, q, N, dtype=np.uint64) for q in base_primes]
-        )
+        x = np.stack([rng.integers(0, q, N, dtype=np.uint64) for q in base_primes])
         w = np.stack(
-            [
-                rng.integers(0, p, len(base_primes), dtype=np.uint64)
-                for p in aux_primes
-            ]
+            [rng.integers(0, p, len(base_primes), dtype=np.uint64) for p in aux_primes]
         )
-        w_sh = np.stack(
-            [(w[j] * (1 << 32)) // p for j, p in enumerate(aux_primes)]
-        )
+        w_sh = np.stack([(w[j] * (1 << 32)) // p for j, p in enumerate(aux_primes)])
         got = red.mulmod_cross(x, w, w_sh)
         for j, p in enumerate(aux_primes):
             single = ShoupReducer(p)
@@ -201,9 +184,7 @@ class TestModUpDown:
         ext = ctx.primes + aux_primes
         lo, hi = 1, 3
         up = ModUp(ext, lo, hi, N)
-        digit = np.stack(
-            [rng.integers(0, q, N, dtype=np.uint64) for q in ext[lo:hi]]
-        )
+        digit = np.stack([rng.integers(0, q, N, dtype=np.uint64) for q in ext[lo:hi]])
         out = np.empty((len(ext), N), np.uint64)
         up.apply(digit, out)
         lift = crt_lift(ext[lo:hi], digit)
@@ -317,9 +298,7 @@ def composed_reference(ctx, ksk, poly):
         for half in range(2):
             term = a_hat.pointwise_multiply(ksk.pairs[d][half])
             acc[half] = term if acc[half] is None else acc[half].add(term)
-    return tuple(
-        c.to_coeff().mod_down(ksk.num_aux) for c in acc
-    )
+    return tuple(c.to_coeff().mod_down(ksk.num_aux) for c in acc)
 
 
 @pytest.mark.parametrize("method", METHODS)
@@ -392,9 +371,7 @@ class TestKeySwitchPlan:
         fresh = RnsPolynomial(ctx, ctx.batch_ntt.forward(a.limbs), NTT)
         plan_fresh = fresh.plan_key_switch(ksk)
         assert ("intt_input", ctx.num_limbs) in plan_fresh.steps
-        assert (
-            plan_fresh.inverse_rows - plan.inverse_rows == ctx.num_limbs
-        )
+        assert (plan_fresh.inverse_rows - plan.inverse_rows == ctx.num_limbs)
 
     def test_plan_domain_mismatch_rejected(self, ctx, aux_primes, rng):
         ksk = KeySwitchKey.random(ctx, aux_primes, 2, rng)
@@ -444,12 +421,8 @@ class TestKeySwitchKeyValidation:
             switcher.run(ctx.random(rng), other)
 
     def test_switcher_is_cached(self, ctx, aux_primes):
-        assert ctx.key_switcher(aux_primes, 2) is ctx.key_switcher(
-            aux_primes, 2
-        )
-        assert ctx.key_switcher(aux_primes, 1) is not ctx.key_switcher(
-            aux_primes, 2
-        )
+        assert ctx.key_switcher(aux_primes, 2) is ctx.key_switcher(aux_primes, 2)
+        assert ctx.key_switcher(aux_primes, 1) is not ctx.key_switcher(aux_primes, 2)
 
 
 # -- hoisting (PR 4): shared ModUp across key switches ----------------------
@@ -470,9 +443,7 @@ class TestHoisting:
         a = ctx.random(rng)
         hoisted = sw.hoist(a)
         snapshot = hoisted.copy()
-        keys = [
-            KeySwitchKey.random(ctx, aux_primes, 2, rng) for _ in range(3)
-        ]
+        keys = [KeySwitchKey.random(ctx, aux_primes, 2, rng) for _ in range(3)]
         shared = [sw.run_hoisted(hoisted, k) for k in keys]
         assert np.array_equal(hoisted, snapshot)
         for k, (s0, s1) in zip(keys, shared):
@@ -492,9 +463,7 @@ class TestHoisting:
         sw = ctx.key_switcher(aux_primes, 2)
         a = ctx.random(rng)
         hoisted = sw.hoist(a)
-        permuted = np.stack(
-            [digit[:, perm] for digit in hoisted]
-        )
+        permuted = np.stack([digit[:, perm] for digit in hoisted])
         p0, p1 = sw.run_hoisted(hoisted, ksk, perm=perm)
         q0, q1 = sw.run_hoisted(permuted, ksk)
         assert np.array_equal(p0.limbs, q0.limbs)

@@ -44,9 +44,7 @@ def setup(request):
 
 
 def _random_limbs(primes, n, rng):
-    return np.stack(
-        [rng.integers(0, q, n, dtype=np.uint64) for q in primes]
-    )
+    return np.stack([rng.integers(0, q, n, dtype=np.uint64) for q in primes])
 
 
 @pytest.mark.parametrize("method", METHODS)
@@ -70,13 +68,9 @@ def test_pointwise_and_multiply_bit_match_reference(setup, method, rng):
     a = _random_limbs(primes, n, rng)
     b = _random_limbs(primes, n, rng)
     a_hat, b_hat = batch.forward(a), batch.forward(b)
-    ref_pw = np.stack(
-        [e.pointwise(a_hat[i], b_hat[i]) for i, e in enumerate(engs)]
-    )
+    ref_pw = np.stack([e.pointwise(a_hat[i], b_hat[i]) for i, e in enumerate(engs)])
     assert np.array_equal(batch.pointwise(a_hat, b_hat), ref_pw)
-    ref_mul = np.stack(
-        [e.negacyclic_multiply(a[i], b[i]) for i, e in enumerate(engs)]
-    )
+    ref_mul = np.stack([e.negacyclic_multiply(a[i], b[i]) for i, e in enumerate(engs)])
     assert np.array_equal(batch.negacyclic_multiply(a, b), ref_mul)
 
 
@@ -90,9 +84,7 @@ def test_prepared_operand_path_matches_oneshot(setup, method, rng):
     expect = batch.pointwise(a_hat, b_hat)
     # Reusing the handle across products must give identical results.
     for _ in range(3):
-        assert np.array_equal(
-            batch.pointwise_prepared(a_hat, prepared), expect
-        )
+        assert np.array_equal(batch.pointwise_prepared(a_hat, prepared), expect)
 
 
 @pytest.mark.parametrize("method", METHODS)
@@ -229,6 +221,4 @@ def test_transform_out_buffers(rng):
     batch.forward(buf, out=buf)
     assert np.array_equal(buf, expect)
     inv = np.empty_like(x)
-    assert np.array_equal(
-        batch.inverse(expect, out=inv), batch.inverse(expect)
-    )
+    assert np.array_equal(batch.inverse(expect, out=inv), batch.inverse(expect))

@@ -1,8 +1,9 @@
 """Benchmark-harness unit tests: the --baseline regression gate.
 
 The timing loops themselves are exercised by CI's bench-smoke job; here
-the pure comparison logic is pinned — cell matching, the >25% median
-threshold, and tolerance of baselines recorded before medians existed.
+the pure comparison logic is pinned — cell matching, the noise floor,
+the whole-run drift normalization, the >25% threshold, and tolerance of
+baselines recorded before medians existed.
 """
 
 import importlib.util
@@ -29,30 +30,60 @@ def _cell(op="ntt_forward", n=1024, limbs=4, method="smr", med=1.0):
     }
 
 
+def _anchor(med=1.0):
+    """A stable reference cell the drift normalization anchors on."""
+    return _cell(op="key_switch", med=med)
+
+
 def test_no_regression_within_threshold():
-    baseline = {"results": [_cell(med=1.0)]}
-    results = [_cell(med=1.2)]  # +20% < 25% threshold
+    baseline = {"results": [_cell(med=1.0), _anchor(1.0)]}
+    results = [_cell(med=1.2), _anchor(1.0)]  # +20% < 25% after drift
     assert bench_poly.compare_to_baseline(results, baseline) == []
 
 
 def test_regression_beyond_threshold_reported():
-    baseline = {"results": [_cell(med=1.0), _cell(op="rescale", med=0.5)]}
-    results = [_cell(med=1.3), _cell(op="rescale", med=0.55)]
+    baseline = {"results": [_cell(med=1.0), _anchor(4.0)]}
+    results = [_cell(med=2.0), _anchor(4.0)]  # 2x against a stable anchor
     regressions = bench_poly.compare_to_baseline(results, baseline)
     assert len(regressions) == 1
     assert "ntt_forward" in regressions[0]
-    assert "+30%" in regressions[0]
+    assert "drift" in regressions[0]
+
+
+def test_whole_machine_drift_does_not_flag():
+    """A uniformly slower host (throttled CI runner) is machine drift,
+    not a code regression — every cell scales, nothing flags."""
+    baseline = {"results": [_cell(med=1.0), _anchor(4.0)]}
+    results = [_cell(med=1.6), _anchor(6.4)]  # everything 1.6x slower
+    assert bench_poly.compare_to_baseline(results, baseline) == []
+    # ...and a real regression still shows through on top of drift
+    results = [_cell(med=3.2), _anchor(6.4)]  # drifted 1.6x AND 2x worse
+    regressions = bench_poly.compare_to_baseline(results, baseline)
+    assert len(regressions) == 1 and "ntt_forward" in regressions[0]
+
+
+def test_sub_floor_cells_are_not_gated():
+    """Sub-millisecond cells are too noisy to gate individually; they
+    are excluded by the MIN_GATED_MEDIAN_S floor (their kernels are
+    still covered through the composite cells)."""
+    tiny = bench_poly.MIN_GATED_MEDIAN_S / 10
+    baseline = {"results": [_cell(op="rescale", med=tiny), _anchor(1.0)]}
+    results = [_cell(op="rescale", med=tiny * 50), _anchor(1.0)]
+    assert bench_poly.compare_to_baseline(results, baseline) == []
+    assert bench_poly.matched_cells(results, baseline) == [
+        ("key_switch", 1024, 4, "smr")
+    ]
 
 
 def test_unrecorded_cells_are_skipped():
     """New kernels and removed cells are not regressions."""
-    baseline = {"results": [_cell(op="old_kernel", med=0.001)]}
+    baseline = {"results": [_cell(op="old_kernel", med=1.0)]}
     results = [_cell(op="key_switch", med=9.9)]
     assert bench_poly.compare_to_baseline(results, baseline) == []
 
 
 def test_premedian_baselines_are_skipped():
-    old_style = _cell(med=0.0001)
+    old_style = _cell(med=1.0)
     del old_style["batched_med_s"]  # recorded before medians existed
     baseline = {"results": [old_style]}
     results = [_cell(med=5.0)]
@@ -60,12 +91,42 @@ def test_premedian_baselines_are_skipped():
 
 
 def test_threshold_is_configurable():
-    baseline = {"results": [_cell(med=1.0)]}
-    results = [_cell(med=1.2)]
+    baseline = {"results": [_cell(med=1.0), _anchor(4.0)]}
+    results = [_cell(med=1.2), _anchor(4.0)]
     assert bench_poly.compare_to_baseline(results, baseline, threshold=0.1)
+    assert not bench_poly.compare_to_baseline(results, baseline, threshold=0.3)
 
 
 def test_faster_cells_never_flag():
-    baseline = {"results": [_cell(med=1.0)]}
-    results = [_cell(med=0.2)]
+    baseline = {"results": [_cell(med=1.0), _anchor(4.0)]}
+    results = [_cell(med=0.2), _anchor(4.0)]
     assert bench_poly.compare_to_baseline(results, baseline) == []
+
+
+def test_matched_cells_counts_the_gated_set():
+    baseline = {"results": [_cell(), _cell(op="rescale")]}
+    results = [_cell(), _cell(op="matvec")]  # matvec not recorded yet
+    matched = bench_poly.matched_cells(results, baseline)
+    assert matched == [("ntt_forward", 1024, 4, "smr")]
+
+
+def test_vacuous_gate_matches_nothing():
+    """A baseline recording none of the produced cells gates nothing —
+    the CLI refuses to pass in that state (exit 1), so a grid rename
+    cannot silently disarm the CI regression job."""
+    baseline = {"results": [_cell(op="renamed_kernel")]}
+    results = [_cell(op="matvec")]
+    assert bench_poly.matched_cells(results, baseline) == []
+    premedian = _cell()
+    del premedian["batched_med_s"]
+    assert bench_poly.matched_cells([_cell()], {"results": [premedian]}) == []
+
+
+def test_full_recording_grid_includes_the_smoke_cells():
+    """CI's `--smoke --baseline BENCH_poly.json` gate only bites if the
+    committed full-grid baseline records the smoke cells."""
+    for cfg in bench_poly.SMOKE_GRID:
+        assert cfg not in bench_poly.FULL_GRID  # no double timing
+    # main() composes the recording grid as SMOKE + FULL; pin the shape
+    # here so a refactor cannot quietly drop the smoke cells again.
+    assert bench_poly.SMOKE_GRID[0] == (256, 4)

@@ -19,9 +19,7 @@ def test_int32_pricing_follows_table3():
     model = CostModel(64, 2, "smr")
     ntt = model.ntt()
     per_mul = REDUCTION_COSTS["smr"].total_instrs
-    assert ntt.int32_instrs == ntt.modmuls * per_mul + (
-        ntt.modadds * MODADD_INSTRS
-    )
+    assert ntt.int32_instrs == ntt.modmuls * per_mul + (ntt.modadds * MODADD_INSTRS)
 
 
 def test_intt_adds_scaling_column():

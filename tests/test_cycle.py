@@ -21,9 +21,7 @@ def test_paper_delta_2_40_cycle():
     assert sorted(cycle.terminal_counts) == [0, 2, 4]
     # The orbit is (2, 0, 4) up to the base-choosing rotation.
     doubled = cycle.terminal_counts * 2
-    assert any(
-        doubled[i : i + 3] == (2, 0, 4) for i in range(3)
-    ), cycle.terminal_counts
+    assert any(doubled[i : i + 3] == (2, 0, 4) for i in range(3)), cycle.terminal_counts
 
 
 def test_moves_satisfy_log_identity():

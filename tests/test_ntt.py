@@ -22,9 +22,7 @@ METHODS = ("smr", "shoup", "barrett", "montgomery")
 @pytest.fixture(scope="module", params=RING_DEGREES, ids=lambda n: f"N={n}")
 def fresh_pool(request) -> PrimePool:
     """A freshly generated pool per ring degree (main + terminal limbs)."""
-    return PrimePool.generate(
-        request.param, num_main=2, num_terminal=1, num_aux=0
-    )
+    return PrimePool.generate(request.param, num_main=2, num_terminal=1, num_aux=0)
 
 
 @pytest.mark.parametrize("method", METHODS)
@@ -89,9 +87,7 @@ def test_backends_agree(fresh_pool, rng):
     n = fresh_pool.ring_degree
     q = fresh_pool.main[0].value
     a = rng.integers(0, q, n, dtype=np.uint64)
-    outs = [
-        NegacyclicNTT(q, n, method).forward(a.copy()) for method in METHODS
-    ]
+    outs = [NegacyclicNTT(q, n, method).forward(a.copy()) for method in METHODS]
     for other in outs[1:]:
         assert np.array_equal(outs[0], other)
 

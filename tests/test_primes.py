@@ -27,9 +27,7 @@ def test_pool_disjoint_and_ntt_friendly(pool64):
 def test_pool_kinds_and_order(pool64):
     assert [p.kind for p in pool64.main] == ["main"] * len(pool64.main)
     assert [p.index for p in pool64.main] == list(range(len(pool64.main)))
-    assert [p.index for p in pool64.terminal] == list(
-        range(len(pool64.terminal))
-    )
+    assert [p.index for p in pool64.terminal] == list(range(len(pool64.terminal)))
     # limb order: terminals first, then mains (fixed-list prefix rule)
     limbs = pool64.limb_primes(2, 3)
     assert limbs == pool64.terminal[:2] + pool64.main[:3]
@@ -61,9 +59,7 @@ def test_alternating_sides_balance():
 
 def test_exclusion_respected(pool64):
     taken = {p.value for p in pool64.main}
-    fresh = ntt_friendly_primes(
-        30, len(pool64.main), pool64.ring_degree, exclude=taken
-    )
+    fresh = ntt_friendly_primes(30, len(pool64.main), pool64.ring_degree, exclude=taken)
     assert not taken & {p.value for p in fresh}
 
 
@@ -122,9 +118,7 @@ def test_digit_ranges_validation():
 def test_extension_basis_covers_largest_digit():
     from repro.rns.primes import digit_ranges
 
-    pool = PrimePool.generate(
-        64, num_main=4, num_terminal=2, num_aux=6
-    )
+    pool = PrimePool.generate(64, num_main=4, num_terminal=2, num_aux=6)
     for dnum in (1, 2, 3):
         aux = pool.extension_basis(2, 4, dnum=dnum)
         limbs = pool.limb_primes(2, 4)

@@ -136,16 +136,12 @@ def test_reducers_from_generated_primes(rng):
         mont = make_reducer("montgomery", q)
         shoup = make_reducer("shoup", q)
         smr = make_reducer("smr", q)
-        assert np.array_equal(
-            barrett.reduce_strict(barrett.mulmod(a, b)), expect
-        )
+        assert np.array_equal(barrett.reduce_strict(barrett.mulmod(a, b)), expect)
         assert np.array_equal(
             mont.reduce_strict(mont.mulmod(mont.to_form(a), b)), expect
         )
         assert np.array_equal(
-            shoup.reduce_strict(
-                shoup.mulmod_const(a, b, shoup.precompute(b))
-            ),
+            shoup.reduce_strict(shoup.mulmod_const(a, b, shoup.precompute(b))),
             expect,
         )
         assert np.array_equal(
@@ -172,17 +168,11 @@ def test_make_reducer_rejects_unknown():
 
 
 def _batched_operands(rng):
-    a = np.stack(
-        [rng.integers(0, q, SIZE, dtype=np.uint64) for q in MODULI]
-    )
-    b = np.stack(
-        [rng.integers(0, q, SIZE, dtype=np.uint64) for q in MODULI]
-    )
+    a = np.stack([rng.integers(0, q, SIZE, dtype=np.uint64) for q in MODULI])
+    b = np.stack([rng.integers(0, q, SIZE, dtype=np.uint64) for q in MODULI])
     expect = np.stack(
         [
-            ((a[i].astype(object) * b[i].astype(object)) % q).astype(
-                np.uint64
-            )
+            ((a[i].astype(object) * b[i].astype(object)) % q).astype(np.uint64)
             for i, q in enumerate(MODULI)
         ]
     )
@@ -236,9 +226,7 @@ def test_batched_shoup_range_checks_per_row(rng):
     w = MODULI[0] - 1
     comp = red.precompute(w)
     assert comp.shape == (len(MODULI), 1)
-    a = np.stack(
-        [rng.integers(0, q, SIZE, dtype=np.uint64) for q in MODULI]
-    )
+    a = np.stack([rng.integers(0, q, SIZE, dtype=np.uint64) for q in MODULI])
     got = red.reduce_strict(red.mulmod_const(a, w, comp))
     expect = np.stack(
         [

@@ -168,9 +168,7 @@ def test_transforms_bit_match_reference_engines(ctx, method, rng):
     Python loop over the per-prime reference engines, bit for bit."""
     mctx = PolyContext(ctx.ring_degree, ctx.primes, method)
     a, b = mctx.random(rng), mctx.random(rng)
-    ref_fwd = np.stack(
-        [ntt.forward(a.limbs[i]) for i, ntt in enumerate(mctx.ntts)]
-    )
+    ref_fwd = np.stack([ntt.forward(a.limbs[i]) for i, ntt in enumerate(mctx.ntts)])
     a_hat = a.to_ntt()
     assert np.array_equal(a_hat.limbs, ref_fwd)
     assert np.array_equal(a_hat.to_coeff().limbs, a.limbs)
@@ -225,9 +223,7 @@ def test_prepared_operand_is_cached_and_requires_ntt(ctx, rng):
     a_hat = a.to_ntt()
     first = a_hat.pointwise_multiply(b_hat)
     assert b_hat.prepared_operand() is handle
-    assert np.array_equal(
-        a_hat.pointwise_multiply(b_hat).limbs, first.limbs
-    )
+    assert np.array_equal(a_hat.pointwise_multiply(b_hat).limbs, first.limbs)
 
 
 # -- multiply_accumulate (§4.2 key-switching shape) ------------------------
@@ -370,9 +366,7 @@ def test_multiply_result_carries_no_twin(ctx, rng):
     assert a._twin is not None and b._twin is not None
     assert np.array_equal(
         prod.limbs,
-        ctx.batch_ntt.inverse(
-            a.to_ntt().pointwise_multiply(b.to_ntt()).limbs
-        ),
+        ctx.batch_ntt.inverse(a.to_ntt().pointwise_multiply(b.to_ntt()).limbs),
     )
 
 

@@ -53,9 +53,7 @@ def _pool(n: int) -> PrimePool:
 def _setup(n: int, method: str):
     """(ctx, keygen) per configuration, built once per session."""
     pool = _pool(n)
-    ctx = PolyContext.from_pool(
-        pool, num_terminal=1, num_main=3, method=method
-    )
+    ctx = PolyContext.from_pool(pool, num_terminal=1, num_main=3, method=method)
     aux = [p.value for p in pool.extension_basis(1, 3, dnum=DNUM)]
     keygen = KeyGenerator(ctx, aux, DNUM, np.random.default_rng(0xCAFE + n))
     return ctx, keygen
@@ -262,12 +260,8 @@ def test_pipeline_is_bit_reproducible_from_one_seed():
         ev = Evaluator.from_keygen(keygen, rotations=[2])
         rng = np.random.default_rng(100)
         v1, v2 = _messages(n)
-        ct1 = ev.encrypt(
-            Plaintext.encode(ctx, v1, SCALE), keygen.public, rng
-        )
-        ct2 = ev.encrypt(
-            Plaintext.encode(ctx, v2, SCALE), keygen.public, rng
-        )
+        ct1 = ev.encrypt(Plaintext.encode(ctx, v1, SCALE), keygen.public, rng)
+        ct2 = ev.encrypt(Plaintext.encode(ctx, v2, SCALE), keygen.public, rng)
         out = ev.rescale(ev.rotate(ev.multiply(ct1, ct2), 2))
         return keygen, ct1, out
 
