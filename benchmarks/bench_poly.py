@@ -58,6 +58,7 @@ from repro.rns.primes import digit_ranges, ntt_friendly_primes  # noqa: E402
 from repro.scheme import (  # noqa: E402
     CanonicalEncoder,
     Ciphertext,
+    CircuitTracer,
     Evaluator,
     KeyGenerator,
     SlotLinalg,
@@ -76,7 +77,7 @@ REGRESSION_THRESHOLD = 0.25
 #: noisy to gate individually — sub-millisecond kernels swing +-40% run
 #: to run on shared runners.  Their code is still gated: every floored
 #: kernel executes inside the composite cells (key_switch, hmult,
-#: rotate, matvec, poly_eval) that clear the floor.
+#: rotate, matvec, poly_eval, circuit) that clear the floor.
 MIN_GATED_MEDIAN_S = 5e-3
 
 
@@ -533,6 +534,44 @@ def bench_config(n: int, num_limbs: int, method: str, repeats: int, rng) -> list
     assert np.array_equal(got.c0.limbs, ref.c0.limbs), "poly_eval c0 differs"
     assert np.array_equal(got.c1.limbs, ref.c1.limbs), "poly_eval c1 differs"
     cell("poly_eval", fused_poly_eval, naive_poly_eval)
+
+    # compiled circuit: matvec -> poly_eval -> rescale ---------------------
+    # "batched" replays a CircuitPlan compiled once for the whole
+    # pipeline (hoists shared at plan time, diagonal/constant encodings
+    # and key-switch schedules captured, NTT-domain persistence across op
+    # boundaries); "looped" eagerly composes the already-fused per-op
+    # fast paths — each call re-plans, re-encodes and re-allocates.  The
+    # rescale sits last because key switching runs at the keygen level.
+    # The scale stack Delta^(bs*gs) with Delta = circ_scale^2 must clear
+    # Q, hence the shallow-basis drop to 2^12.
+    circ_scale = 2.0**30 if num_limbs >= 12 else 2.0**12
+    circ_coeffs = [0.5, -1.0, 0.25, 0.125]
+
+    def eager_circuit():
+        ct = fresh_scaled(a0l, a1l, circ_scale)
+        return lin.ev.rescale(
+            lin.poly_eval(lin.matvec(ct, matrix), circ_coeffs)
+        )
+
+    tracer = CircuitTracer(lin.ev)
+    traced_lin = SlotLinalg(encoder, tracer)
+    x = tracer.input("x", scale=circ_scale)
+    circuit_plan = tracer.compile(
+        tracer.rescale(
+            traced_lin.poly_eval(
+                traced_lin.matvec_naive(x, matrix), circ_coeffs
+            )
+        )
+    )
+
+    def compiled_circuit():
+        return circuit_plan.run(fresh_scaled(a0l, a1l, circ_scale))
+
+    got = compiled_circuit()
+    ref = eager_circuit()
+    assert np.array_equal(got.c0.limbs, ref.c0.limbs), "circuit c0 differs"
+    assert np.array_equal(got.c1.limbs, ref.c1.limbs), "circuit c1 differs"
+    cell("circuit", compiled_circuit, eager_circuit)
 
     for c in cells:
         c.update(

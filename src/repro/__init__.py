@@ -8,6 +8,17 @@ architecture map.
 """
 
 from repro.errors import CheddarError
+from repro.plan import Plan
 
-__all__ = ["CheddarError"]
+__all__ = ["CheddarError", "CkksContext", "Plan"]
 __version__ = "0.1.0"
+
+
+def __getattr__(name):
+    # CkksContext pulls in numpy and the whole scheme stack; load it on
+    # first touch so `import repro` stays import-cycle-free and cheap.
+    if name == "CkksContext":
+        from repro.context import CkksContext
+
+        return CkksContext
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,128 @@
+"""One-call construction of a complete CKKS instance.
+
+Standing up a working instance previously meant wiring six layers by
+hand in the right order — prime pool, polynomial context, extension
+basis, key generator, encoder, evaluator, slot-linear algebra — each
+with parameters that must agree (the aux basis must cover the digit
+products, the Galois keys must cover the rotations the workload will
+ask for, ...).  :class:`CkksContext` owns that wiring: one seeded
+constructor, every layer reachable as an attribute, and conveniences
+for the encode/encrypt boundary and for starting a circuit trace.
+
+>>> cc = CkksContext(ring_degree=1024, num_main=5, num_aux=6, dnum=2,
+...                  seed=0, rotations=(1, 2))
+>>> ct = cc.encrypt([0.5, -0.25], scale=2.0**12)
+>>> tr = cc.tracer()
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.poly.rns_poly import PolyContext
+from repro.rns.primes import PrimePool
+from repro.scheme.encoder import CanonicalEncoder
+from repro.scheme.evaluator import Evaluator
+from repro.scheme.keys import DEFAULT_SIGMA, KeyGenerator
+from repro.scheme.linalg import SlotLinalg
+
+__all__ = ["CkksContext"]
+
+
+class CkksContext:
+    """A fully wired CKKS instance behind one seeded constructor.
+
+    Layers (all public attributes, in wiring order):
+
+    ``pool``       :class:`~repro.rns.primes.PrimePool`
+    ``poly_ctx``   :class:`~repro.poly.rns_poly.PolyContext`
+    ``keygen``     :class:`~repro.scheme.keys.KeyGenerator`
+    ``encoder``    :class:`~repro.scheme.encoder.CanonicalEncoder`
+    ``evaluator``  :class:`~repro.scheme.evaluator.Evaluator`
+    ``linalg``     :class:`~repro.scheme.linalg.SlotLinalg`
+
+    All randomness — prime-independent key material and encryption
+    noise — flows from the single ``seed`` through one
+    ``numpy.random.Generator``, so two contexts built with the same
+    arguments produce bit-identical keys and (with
+    :meth:`encrypt` called in the same order) bit-identical
+    ciphertexts.
+    """
+
+    def __init__(
+        self,
+        *,
+        ring_degree: int,
+        num_main: int,
+        num_aux: int,
+        dnum: int,
+        seed: int,
+        num_terminal: int = 1,
+        method: str = "smr",
+        rotations=(),
+        conjugate: bool = False,
+        sigma: float = DEFAULT_SIGMA,
+        hamming_weight: int | None = None,
+        main_bits: int = 30,
+        terminal_bits: int = 25,
+        aux_bits: int | None = None,
+    ) -> None:
+        self.pool = PrimePool.generate(
+            ring_degree,
+            main_bits=main_bits,
+            terminal_bits=terminal_bits,
+            num_main=num_main,
+            num_terminal=num_terminal,
+            num_aux=num_aux,
+            aux_bits=aux_bits,
+        )
+        self.poly_ctx = PolyContext.from_pool(
+            self.pool,
+            num_terminal=num_terminal,
+            num_main=num_main,
+            method=method,
+        )
+        aux_primes = self.pool.extension_basis(
+            num_terminal, num_main, dnum=dnum
+        )
+        self.rng = np.random.default_rng(seed)
+        self.keygen = KeyGenerator(
+            self.poly_ctx,
+            aux_primes,
+            dnum,
+            self.rng,
+            sigma=sigma,
+            hamming_weight=hamming_weight,
+        )
+        self.encoder = CanonicalEncoder(self.poly_ctx)
+        self.evaluator = Evaluator.from_keygen(
+            self.keygen, rotations=rotations, conjugate=conjugate
+        )
+        self.linalg = SlotLinalg(self.encoder, self.evaluator)
+
+    # -- passthrough conveniences -------------------------------------------
+    @property
+    def ctx(self) -> PolyContext:
+        """The polynomial context (for Plan.validate and friends)."""
+        return self.poly_ctx
+
+    @property
+    def num_slots(self) -> int:
+        return self.poly_ctx.ring_degree // 2
+
+    def encrypt(self, values, *, scale: float, num_slots: int | None = None):
+        """Encode a slot vector and encrypt it under the public key."""
+        pt = self.encoder.encode(values, scale, num_slots=num_slots)
+        return self.evaluator.encrypt(pt, self.keygen.public, self.rng)
+
+    def decrypt(self, ct, *, num_slots: int | None = None) -> np.ndarray:
+        """Decrypt and decode back to a complex slot vector."""
+        pt = self.evaluator.decrypt(ct, self.keygen.secret)
+        return self.encoder.decode(pt, num_slots=num_slots)
+
+    def tracer(self):
+        """A fresh :class:`~repro.scheme.circuit.CircuitTracer` over the
+        evaluator, for recording a program to compile."""
+        from repro.scheme.circuit import CircuitTracer
+
+        return CircuitTracer(self.evaluator)

@@ -1,0 +1,50 @@
+"""The ``Plan`` protocol: one shape for every ahead-of-time schedule.
+
+Three planning surfaces grew up independently in this codebase —
+``KeySwitchPlan`` (PR 3), the hoisted-rotation tensors behind
+``KeySwitcher.hoist``/``run_hoisted`` (PR 4), and the BSGS schedules
+inside ``SlotLinalg`` (PR 5).  Each one precomputes a schedule once and
+replays it many times, but each exposed a different API.  This module
+names the common contract so callers can treat any of them — including
+whole-circuit :class:`repro.scheme.circuit.CircuitPlan` objects —
+uniformly:
+
+* ``SomePlan.build(...)`` constructs a plan from a configuration,
+* ``plan.run(...)`` replays it against fresh inputs,
+* ``plan.cost()`` prices it with the calibratable cost model,
+* ``plan.validate(config)`` rejects a stale plan (wrong basis, wrong
+  context, wrong level) with a descriptive error instead of corrupt
+  output.
+
+The protocol is intentionally structural (``runtime_checkable``): the
+concrete plan classes live in different layers (poly vs scheme) and do
+not share a base class.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+__all__ = ["Plan"]
+
+
+@runtime_checkable
+class Plan(Protocol):
+    """Structural protocol for ahead-of-time execution plans.
+
+    Implementations additionally expose a ``build(...)`` classmethod
+    (signatures differ per plan kind, so it is a documented convention
+    rather than part of the structural type).
+    """
+
+    def run(self, *args: Any, **kwargs: Any) -> Any:
+        """Replay the plan against fresh inputs; no planning, no allocation."""
+        ...
+
+    def cost(self) -> Any:
+        """Price one ``run`` with the layer's cost model."""
+        ...
+
+    def validate(self, config: Any) -> None:
+        """Raise a descriptive error if the plan does not match ``config``."""
+        ...

@@ -443,6 +443,56 @@ class KeySwitchPlan:
     ext_primes: tuple[int, ...]
     dnum: int
     steps: tuple[tuple[str, int], ...]
+    # Pricing metadata (appended with defaults so older positional
+    # construction keeps working); filled by KeySwitcher.plan_for.
+    ring_degree: int = 0
+    method: str = ""
+    num_base: int = 0
+
+    @classmethod
+    def build(cls, switcher: KeySwitcher, poly, output_domain: str = "coeff"):
+        """Plan-protocol constructor: schedule switching ``poly``."""
+        return switcher.plan(poly, output_domain)
+
+    def run(self, poly, ksk: KeySwitchKey):
+        """Execute this plan against ``poly`` under ``ksk``."""
+        switcher = poly.ctx.key_switcher(ksk.aux_primes, ksk.dnum)
+        return switcher.run(poly, ksk, self)
+
+    def validate(self, config: KeySwitcher) -> None:
+        """Refuse to run under a switcher this plan was not built for."""
+        if (
+            self.ext_primes != tuple(config.ext_ctx.primes)
+            or self.dnum != config.dnum
+        ):
+            raise ParameterError(
+                "plan was built for a different (extended basis, dnum) "
+                "configuration than this key's switcher"
+            )
+
+    def cost(self):
+        """Price one execution with the polynomial-layer cost model.
+
+        The method-priced key-switch core, plus the input inverse
+        transform when the plan starts from an un-twinned NTT operand
+        (``reuse_coeff`` and coefficient inputs add nothing).
+        """
+        from repro.poly.cost import CostModel, _merge
+
+        if not self.ring_degree or not self.method or not self.num_base:
+            raise ParameterError(
+                "plan carries no pricing metadata; build it through "
+                "KeySwitcher.plan / plan_for"
+            )
+        model = CostModel(self.ring_degree, self.num_base, self.method)
+        num_aux = len(self.ext_primes) - self.num_base
+        total = model.key_switch(
+            num_aux, dnum=self.dnum, output_domain=self.output_domain
+        )
+        input_rows = sum(arg for op, arg in self.steps if op == "intt_input")
+        if input_rows:
+            total = _merge(total, model.intt().scaled(input_rows))
+        return total
 
     @property
     def forward_rows(self) -> int:
@@ -513,20 +563,30 @@ class KeySwitcher:
         )
 
     # -- planning ----------------------------------------------------------
-    def plan(self, poly, output_domain: str) -> KeySwitchPlan:
-        """Build the explicit schedule for switching ``poly``.
+    def plan_for(
+        self,
+        input_domain: str,
+        *,
+        has_twin: bool = False,
+        output_domain: str = "coeff",
+    ) -> KeySwitchPlan:
+        """Build the explicit schedule from *described* input state.
 
-        Consults the polynomial's *actual* domain state — including its
-        cached coefficient twin, which makes the input inverse transform
-        free — so the plan reflects what the executor will really do.
+        ``input_domain`` and ``has_twin`` (whether an NTT-domain operand
+        carries a cached coefficient twin, making its input inverse
+        free) fully determine the step list — which is what lets a
+        circuit compiler plan a switch ahead of time, before the operand
+        exists.
         """
         from repro.poly.rns_poly import COEFF, NTT
 
+        if input_domain not in (COEFF, NTT):
+            raise LayoutError(f"unknown input domain {input_domain!r}")
         if output_domain not in (COEFF, NTT):
             raise LayoutError(f"unknown output domain {output_domain!r}")
         steps: list[tuple[str, int]] = []
-        if poly.domain == NTT:
-            if poly.state.twin is not None:
+        if input_domain == NTT:
+            if has_twin:
                 steps.append(("reuse_coeff", 0))
             else:
                 steps.append(("intt_input", self.ctx.num_limbs))
@@ -544,15 +604,31 @@ class KeySwitcher:
             steps.append(("ntt_conv", 2 * self.ctx.num_limbs))
             steps.append(("mod_down", 2))
         return KeySwitchPlan(
-            poly.domain,
+            input_domain,
             output_domain,
             tuple(self.ext_ctx.primes),
             self.dnum,
             tuple(steps),
+            ring_degree=self.ctx.ring_degree,
+            method=self.ctx.method,
+            num_base=self.ctx.num_limbs,
+        )
+
+    def plan(self, poly, output_domain: str) -> KeySwitchPlan:
+        """Build the explicit schedule for switching ``poly``.
+
+        Consults the polynomial's *actual* domain state — including its
+        cached coefficient twin, which makes the input inverse transform
+        free — so the plan reflects what the executor will really do.
+        """
+        return self.plan_for(
+            poly.domain,
+            has_twin=poly.state.twin is not None,
+            output_domain=output_domain,
         )
 
     # -- hoisting (shared ModUp across rotations) --------------------------
-    def hoist(self, poly) -> np.ndarray:
+    def hoist(self, poly, *, out: np.ndarray | None = None) -> np.ndarray:
         """Shared ModUp: extend + forward-transform every digit once.
 
         Returns the ``(dnum, L+K, N)`` NTT-domain extended digit tensor.
@@ -563,11 +639,23 @@ class KeySwitcher:
         serves every rotation index; :meth:`run_hoisted` finishes each
         rotation from here.  This is the Halevi–Shoup hoisting trick on
         top of the hybrid pipeline.
+
+        ``out``, when given, receives the tensor (a compiled caller's
+        per-plan buffer) instead of a fresh allocation.
         """
         if not self.ctx.compatible(poly.ctx):
             raise ParameterError("polynomial context does not match switcher")
         coeff_limbs = poly.to_coeff().limbs
-        hoisted = np.empty((self.dnum, self.num_ext, self.ctx.ring_degree), np.uint64)
+        shape = (self.dnum, self.num_ext, self.ctx.ring_degree)
+        if out is None:
+            hoisted = np.empty(shape, np.uint64)
+        else:
+            if out.shape != shape or out.dtype != np.uint64:
+                raise LayoutError(
+                    f"hoist output buffer {out.shape} ({out.dtype}) != "
+                    f"{shape} (uint64)"
+                )
+            hoisted = out
         for d, (lo, hi) in enumerate(self.digits):
             self.modups[d].apply(coeff_limbs[lo:hi], self._ext_buf)
             self.ext_ctx.batch_ntt.forward(self._ext_buf, out=hoisted[d])
@@ -662,11 +750,7 @@ class KeySwitcher:
         self._check_key(ksk)
         if plan is None:
             plan = self.plan(poly, COEFF)
-        if (plan.ext_primes != tuple(self.ext_ctx.primes) or plan.dnum != self.dnum):
-            raise ParameterError(
-                "plan was built for a different (extended basis, dnum) "
-                "configuration than this key's switcher"
-            )
+        plan.validate(self)
         if plan.input_domain != poly.domain:
             raise LayoutError(
                 f"plan was built for a {plan.input_domain}-domain operand, "
@@ -717,3 +801,79 @@ class KeySwitcher:
             else:  # pragma: no cover - planner and executor move together
                 raise ParameterError(f"unknown key-switch step {op!r}")
         return out_polys[0], out_polys[1]
+
+
+class HoistedGaloisPlan:
+    """One shared ModUp front finishing many Galois elements (Plan protocol).
+
+    Precomputes everything a hoisted rotation batch needs — the
+    per-element NTT-domain slot permutations, the key list (checked
+    against the switcher once, at build time), and the ``(dnum, L+K, N)``
+    digit tensor buffer — so :meth:`run` is exactly one
+    :meth:`KeySwitcher.hoist` plus one :meth:`KeySwitcher.run_hoisted`
+    per element, with zero per-call planning or allocation.  This is the
+    plan object behind ``Evaluator.rotate_hoisted``.
+    """
+
+    def __init__(self, switcher: KeySwitcher, elements, keys) -> None:
+        from repro.poly.ntt import automorphism_tables
+
+        self.switcher = switcher
+        self.elements = tuple(int(e) for e in elements)
+        self.keys = tuple(keys)
+        if not self.elements:
+            raise ParameterError(
+                "a hoisted Galois plan needs >= 1 Galois element"
+            )
+        if len(self.keys) != len(self.elements):
+            raise ParameterError(
+                f"need one key per Galois element, got {len(self.keys)} "
+                f"keys for {len(self.elements)} elements"
+            )
+        for ksk in self.keys:
+            switcher._check_key(ksk)
+        n = switcher.ctx.ring_degree
+        self.perms = tuple(
+            automorphism_tables(n, e)[2] for e in self.elements
+        )
+        self._buffer = np.empty(
+            (switcher.dnum, switcher.num_ext, n), np.uint64
+        )
+
+    @classmethod
+    def build(
+        cls, switcher: KeySwitcher, elements, keys
+    ) -> HoistedGaloisPlan:
+        """Plan-protocol constructor."""
+        return cls(switcher, elements, keys)
+
+    def validate(self, config) -> None:
+        """Refuse an operand context this plan was not built for."""
+        reason = self.switcher.ctx.mismatch_reason(config)
+        if reason is not None:
+            raise ParameterError(
+                f"hoisted Galois plan does not match the operand: {reason}"
+            )
+
+    def run(self, poly):
+        """Hoist ``poly`` once, finish every element; ``(c0, c1)`` list."""
+        self.validate(poly.ctx)
+        hoisted = self.switcher.hoist(poly, out=self._buffer)
+        return [
+            self.switcher.run_hoisted(hoisted, ksk, perm=perm)
+            for ksk, perm in zip(self.keys, self.perms)
+        ]
+
+    def cost(self):
+        """Scheme-level pricing: one shared front + per-element finishes."""
+        from repro.scheme.cost import SchemeCostModel
+
+        sw = self.switcher
+        model = SchemeCostModel(
+            sw.ctx.ring_degree,
+            sw.ctx.num_limbs,
+            len(sw.aux),
+            sw.dnum,
+            sw.ctx.method,
+        )
+        return model.hoisted_rotate(len(self.elements))

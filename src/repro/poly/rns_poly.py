@@ -667,6 +667,7 @@ class RnsPolynomial:
         b_polys: Sequence[RnsPolynomial],
         *,
         strategy: str = "reduced",
+        acc: LazyAccumulator | None = None,
     ) -> RnsPolynomial:
         """Fused inner product ``sum_i a_i * b_i`` in the NTT domain (§4.2).
 
@@ -681,6 +682,11 @@ class RnsPolynomial:
         (default, any backend, ~2^32 terms of headroom) reduces each
         product and defers the folds; ``"raw"`` (SMR only) defers the
         reductions themselves, bounded by Alg. 2's ``|sum| < q * 2^31``.
+
+        ``acc`` lets a compiled caller hand in a persistent
+        :class:`LazyAccumulator` (reset and reused here) so the per-call
+        ``(L, N)`` accumulator allocation disappears; it must match this
+        context's reducer and full limb shape.
         """
         a_polys = list(a_polys)
         b_polys = list(b_polys)
@@ -703,11 +709,14 @@ class RnsPolynomial:
         batch = ctx.batch_ntt
         signed = ctx.method == "smr"
         shoup = ctx.method == "shoup"
-        acc = LazyAccumulator(
-            batch.backend.red,
-            (ctx.num_limbs, ctx.ring_degree),
-            strategy=strategy,
-        )
+        if acc is None:
+            acc = LazyAccumulator(
+                batch.backend.red,
+                (ctx.num_limbs, ctx.ring_degree),
+                strategy=strategy,
+            )
+        else:
+            acc.reset()
         for a, b in zip(a_polys, b_polys):
             parts = b.prepared_operand()
             lanes = a.limbs.astype(np.int64) if signed else a.limbs

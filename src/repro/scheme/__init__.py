@@ -14,6 +14,7 @@ against.
 """
 
 from repro.scheme.ciphertext import Ciphertext, Plaintext
+from repro.scheme.circuit import CircuitPlan, CircuitTracer, TracedCiphertext
 from repro.scheme.cost import SchemeCostModel
 from repro.scheme.encoder import CanonicalEncoder, special_fft, special_ifft
 from repro.scheme.evaluator import Evaluator
@@ -35,6 +36,8 @@ __all__ = [
     "DEFAULT_SIGMA",
     "CanonicalEncoder",
     "Ciphertext",
+    "CircuitPlan",
+    "CircuitTracer",
     "Evaluator",
     "KeyGenerator",
     "Plaintext",
@@ -43,6 +46,7 @@ __all__ = [
     "SchemeCostModel",
     "SecretKey",
     "SlotLinalg",
+    "TracedCiphertext",
     "bsgs_split",
     "conjugation_element",
     "galois_element",

@@ -58,7 +58,7 @@ class SchemeCostModel:
         self.ext = num_limbs + self.num_aux
 
     # -- key-switch halves (the hoisting boundary) -------------------------
-    def _ks_shared(self) -> OpCost:
+    def ks_shared(self) -> OpCost:
         """ModUp + ``dnum`` extended forward NTTs (paid once per input)."""
         fwd = self.poly.ntt()
         up = self.poly.mod_up(self.num_aux, dnum=self.dnum)
@@ -71,7 +71,7 @@ class SchemeCostModel:
             extra_int32=up.int32_instrs,
         )
 
-    def _ks_finish(self) -> OpCost:
+    def ks_finish(self) -> OpCost:
         """MAC + folds + extended inverses + ModDowns (paid per output)."""
         inv = self.poly.intt()
         down = self.poly.mod_down(self.num_aux)
@@ -86,6 +86,12 @@ class SchemeCostModel:
             raw_adds64=2 * self.dnum * lanes,
             extra_int32=2 * down.int32_instrs,
         )
+
+    # The halves started life as private accounting helpers; the circuit
+    # compiler prices hoisting with them, so they are public now.  The
+    # underscore spellings remain as aliases.
+    _ks_shared = ks_shared
+    _ks_finish = ks_finish
 
     # -- composite ops -----------------------------------------------------
     def relinearize(self) -> OpCost:

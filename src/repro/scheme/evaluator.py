@@ -38,7 +38,7 @@ from repro.errors import (
     ParameterError,
     ScaleMismatchError,
 )
-from repro.poly.basis_conv import KeySwitchKey
+from repro.poly.basis_conv import HoistedGaloisPlan, KeySwitchKey
 from repro.poly.ntt import automorphism_tables
 from repro.poly.rns_poly import COEFF, PolyContext, RnsPolynomial
 from repro.scheme.ciphertext import Ciphertext, Plaintext
@@ -62,6 +62,41 @@ def _combine_bits(a: float, b: float) -> float:
     """``log2(2^a + 2^b)`` without leaving log space."""
     hi, lo = (a, b) if a >= b else (b, a)
     return hi + math.log2(1.0 + 2.0 ** (lo - hi))
+
+
+def validate_rotations(
+    rotations: Sequence[int], num_slots: int, op: str
+) -> None:
+    """Reject zero, out-of-range, and duplicate rotation indices up front.
+
+    Shared by :meth:`Evaluator.rotate_hoisted` and
+    :meth:`~repro.scheme.linalg.SlotLinalg.matvec` so a bad rotation
+    list fails with a :class:`ParameterError` naming the offending
+    index, instead of deep inside the automorphism table lookup.
+    Duplicates are detected modulo ``num_slots`` (two indices that
+    rotate the packed slots identically would silently collapse into
+    one result).
+    """
+    seen: set[int] = set()
+    for r in rotations:
+        r = int(r)
+        if r == 0:
+            raise ParameterError(
+                f"{op}: rotation 0 is the identity; drop it from the "
+                "rotation list"
+            )
+        if not -num_slots < r < num_slots:
+            raise ParameterError(
+                f"{op}: rotation {r} out of range for {num_slots} slots "
+                f"(need |rotation| < {num_slots})"
+            )
+        canonical = r % num_slots
+        if canonical in seen:
+            raise ParameterError(
+                f"{op}: duplicate rotation {r} (rotates by {canonical} "
+                f"mod {num_slots}, already requested)"
+            )
+        seen.add(canonical)
 
 
 class Evaluator:
@@ -352,6 +387,7 @@ class Evaluator:
         if not rotations:
             raise ParameterError("rotate_hoisted needs >= 1 rotation index")
         n = self.ctx.ring_degree
+        validate_rotations(rotations, n // 2, "rotate_hoisted")
         elements = [galois_element(r, n) for r in rotations]
         keys = [self._galois_key_for(k, "rotate_hoisted") for k in elements]
         first = keys[0]
@@ -363,8 +399,13 @@ class Evaluator:
                     "(aux basis, dnum) configuration to share a ModUp"
                 )
         switcher = ct.ctx.key_switcher(first.aux_primes, first.dnum)
-        hoisted = switcher.hoist(ct.c1.to_coeff())
+        plan = HoistedGaloisPlan.build(switcher, elements, keys)
+        c0_coeff = ct.c0.to_coeff()
         out: dict[int, Ciphertext] = {}
-        for rotation, k, ksk in zip(rotations, elements, keys):
-            out[rotation] = self._finish_galois(ct, switcher, hoisted, k, ksk)
+        for rotation, k, ksk, (d0, d1) in zip(
+            rotations, elements, keys, plan.run(ct.c1)
+        ):
+            c0 = c0_coeff.automorphism(k).add(d0)
+            noise = _combine_bits(ct.noise_bits, self._ks_bits(ksk))
+            out[rotation] = Ciphertext(c0, d1, scale=ct.scale, noise_bits=noise)
         return out

@@ -49,7 +49,7 @@ from repro.errors import ParameterError
 from repro.poly.rns_poly import COEFF, RnsPolynomial
 from repro.scheme.ciphertext import Ciphertext, Plaintext
 from repro.scheme.encoder import CanonicalEncoder
-from repro.scheme.evaluator import Evaluator, _combine_bits
+from repro.scheme.evaluator import Evaluator, _combine_bits, validate_rotations
 
 
 def bsgs_split(count: int) -> tuple[int, int]:
@@ -165,6 +165,58 @@ class SlotLinalg:
 
         return self._matvec(ct, matrix, dim, bs, scale, baby, fused=False)
 
+    # -- compiled circuits --------------------------------------------------
+    def _trace(self):
+        """A tracer twin of this helper: same encoder, recording evaluator."""
+        from repro.scheme.circuit import CircuitTracer
+
+        tracer = CircuitTracer(self.ev)
+        return tracer, SlotLinalg(self.encoder, tracer)
+
+    def compile_matvec(
+        self,
+        matrix,
+        *,
+        input_scale: float,
+        baby_steps: int | None = None,
+        scale: float | None = None,
+    ):
+        """Compile the BSGS matvec into a reusable :class:`CircuitPlan`.
+
+        Traces the per-diagonal composition (:meth:`matvec_naive`) and
+        lets the planner rediscover the fast path — the hoisted baby
+        front and the fused inner MACs fall out of the generic hoist
+        grouping and MAC-fusion passes — so the plan is bit-identical to
+        both eager variants while also capturing every diagonal encoding
+        and key-switch schedule ahead of time.  ``plan.run(ct)`` then
+        applies the matrix to any ciphertext arriving at ``input_scale``.
+        """
+        tracer, traced_lin = self._trace()
+        x = tracer.input("x", scale=input_scale)
+        out = traced_lin.matvec_naive(
+            x, matrix, baby_steps=baby_steps, scale=scale
+        )
+        return tracer.compile(out)
+
+    def compile_poly_eval(
+        self,
+        coeffs: Sequence[float],
+        *,
+        input_scale: float,
+        baby_steps: int | None = None,
+    ):
+        """Compile BSGS polynomial evaluation into a :class:`CircuitPlan`.
+
+        The tracer's hash-consing plays the role of the eager power
+        cache — every power of ``x`` traces to one node no matter how
+        many terms use it — and the scale-stacked constant encodings are
+        captured (and NTT-prepared) once at compile time.
+        """
+        tracer, traced_lin = self._trace()
+        x = tracer.input("x", scale=input_scale)
+        out = traced_lin.poly_eval(x, coeffs, baby_steps=baby_steps)
+        return tracer.compile(out)
+
     def _matvec(
         self,
         ct: Ciphertext,
@@ -178,6 +230,9 @@ class SlotLinalg:
     ) -> Ciphertext:
         if bs < 1:
             raise ParameterError(f"baby-step count must be >= 1, got {bs}")
+        validate_rotations(
+            self.matvec_rotations(dim, baby_steps=bs), dim, "matvec"
+        )
         pt_scale = ct.scale if scale is None else float(scale)
         gs = -(-dim // bs)
         n = self.ctx.ring_degree
