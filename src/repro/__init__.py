@@ -2,16 +2,27 @@
 
 Subpackages: :mod:`repro.rns` (primes, reducers, rescaling cycles),
 :mod:`repro.poly` (negacyclic NTT, RNS polynomials, lazy reduction, cost
-model) and :mod:`repro.scheme` (RLWE keys, ciphertexts, the homomorphic
-evaluator and its composite cost model).  See README.md for the
-architecture map.
+model), :mod:`repro.scheme` (RLWE keys, ciphertexts, the homomorphic
+evaluator and its composite cost model) and :mod:`repro.analysis` (the
+static overflow / noise-budget analyzer and sanitizer-checked
+execution).  See README.md for the architecture map.
 """
 
 from repro.errors import CheddarError
 from repro.plan import Plan
 
-__all__ = ["CheddarError", "CkksContext", "Plan"]
+__all__ = [
+    "CheddarError",
+    "CkksContext",
+    "Plan",
+    "certify_kernels",
+    "check_plan",
+    "checked_mode",
+]
 __version__ = "0.1.0"
+
+#: analyzer entry points re-exported lazily (numpy-heavy, cycle-prone)
+_ANALYSIS = {"certify_kernels", "check_plan", "checked_mode"}
 
 
 def __getattr__(name):
@@ -21,4 +32,8 @@ def __getattr__(name):
         from repro.context import CkksContext
 
         return CkksContext
+    if name in _ANALYSIS:
+        import repro.analysis as analysis
+
+        return getattr(analysis, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

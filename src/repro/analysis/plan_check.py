@@ -1,0 +1,537 @@
+"""Level-2 static checker: lattice propagation over compiled circuit plans.
+
+:func:`check_plan` walks a :class:`~repro.scheme.circuit.CircuitPlan`'s
+step list *without executing it*, propagating a per-register abstract
+state — live level, scale, and the heuristic ``log2 |noise|`` estimate —
+using the **same float formulas, in the same order**, as the plan
+executor (:meth:`CircuitPlan._run_step` / :meth:`_apply_rescales`).
+The noise/scale prediction is therefore bit-for-bit the value
+``plan.run`` would tag onto each ciphertext; the test suite pins that
+identity, which is what makes the static verdicts trustworthy.
+
+On top of the faithful propagation the checker flags:
+
+Errors (``report.ok`` is False; the plan should not be run):
+
+* ``budget-exhausted`` — predicted noise reaches ``log2 Q_l - 1``: the
+  decrypted message is statically known to be garbage.  Data-independent
+  (the noise heuristic depends only on scales and circuit shape), so
+  this verdict needs no inputs.
+* ``scale-mismatch`` — add/sub/add_plain operands whose scales differ
+  beyond the evaluator's ``SCALE_RTOL``; the eager path would have
+  raised :class:`~repro.errors.ScaleMismatchError` at trace time, so
+  this only fires on hand-built or corrupted step lists — including the
+  add that a drifted rescale chain eventually feeds.
+* ``key-level-mismatch`` — a multiply/galois step whose switching key
+  was generated for a different limb basis than the step's level; the
+  executor would raise mid-run, the checker names it up front.
+* ``mac-overflow`` — a fused MAC with more terms than the reduced-
+  strategy accumulator headroom at that level.
+* ``invalid-step`` / ``level-mismatch`` — malformed register references
+  or operand levels; robustness against hand-assembled plans.
+
+Warnings (suspicious but not statically fatal):
+
+* ``scale-overflow`` — scale exceeds the level modulus.  Any slot of
+  magnitude >= 1 wraps; kept a warning because the message payload is
+  data the checker cannot see.
+* ``scale-underflow`` — scale dropped below 1: every slot's integer
+  image rounds to nothing; almost always an over-rescaled circuit.
+* ``scale-drift`` — a rescale chain lands more than
+  ``drift_warn_bits`` away from the plan's working scale (the rescale
+  cycle keeps primes within ~1 bit of the scale rung, so persistent
+  drift means the prime schedule and the scale schedule disagree).
+* ``wasteful-rescale`` — a rescale applied to a value that has seen no
+  scale-raising op (multiply / multiply_plain / mac) since the previous
+  rescale or input: the limb drop buys nothing and costs a level.
+* ``dead-hoist`` — a hoisted ModUp tensor no Galois step consumes.
+* ``redundant-ntt-roundtrip`` — a step materializes coefficient-domain
+  components although every consumer accepts (and will re-transform to)
+  the NTT domain; mirrors the planner's ``_keeps_ntt`` rule, so
+  planner-produced plans never trip it — firing means the schedule
+  pays an inverse/forward transform pair for nothing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.analysis.intervals import UINT64_MAX, Diagnostic
+from repro.errors import StaticAnalysisError
+
+#: step kinds that accept an NTT-domain operand without forcing an
+#: inverse transform (mirror of the planner's _NTT_OK_CONSUMERS)
+_NTT_OK = frozenset({"add", "sub", "negate", "multiply", "multiply_plain"})
+
+#: step kinds that raise the scale (a following rescale is "earned")
+_SCALE_RAISING = frozenset({"multiply", "multiply_plain", "mac"})
+
+
+def _combine_bits(a: float, b: float) -> float:
+    """``log2(2^a + 2^b)`` — identical to the evaluator's helper."""
+    hi, lo = (a, b) if a >= b else (b, a)
+    return hi + math.log2(1.0 + 2.0 ** (lo - hi))
+
+
+@dataclass(frozen=True)
+class NodeState:
+    """Abstract state of one plan register after its producing step."""
+
+    level: int
+    scale: float
+    noise_bits: float
+    #: ``log2 Q_level - 1 - noise_bits`` — the remaining noise budget
+    budget_bits: float
+    #: producing step index + label, for diagnostics
+    step: int = 0
+    label: str = ""
+    #: a scale-raising op happened since the last rescale/input
+    raised: bool = field(default=False, compare=False)
+    #: downstream of a node that already reported budget exhaustion
+    exhausted: bool = field(default=False, compare=False)
+
+
+@dataclass(frozen=True)
+class PlanReport:
+    """Outcome of one :func:`check_plan` pass."""
+
+    num_steps: int
+    errors: tuple[Diagnostic, ...]
+    warnings: tuple[Diagnostic, ...]
+    #: abstract state per plan output name — scale/noise are bit-exact
+    #: predictions of what ``plan.run`` will tag onto the ciphertexts
+    output_states: dict[str, NodeState]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`StaticAnalysisError` naming the first error."""
+        if self.errors:
+            first = self.errors[0]
+            more = len(self.errors) - 1
+            suffix = f" (+{more} more)" if more else ""
+            raise StaticAnalysisError(f"plan rejected: {first}{suffix}")
+
+    def describe(self) -> str:
+        """Human-readable report: verdict, then one line per finding."""
+        lines = [
+            f"plan check: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s) over {self.num_steps} step(s)"
+        ]
+        lines.extend(str(d) for d in self.errors)
+        lines.extend(str(d) for d in self.warnings)
+        for name, st in sorted(self.output_states.items()):
+            lines.append(
+                f"output {name!r}: level {st.level}, "
+                f"scale 2^{math.log2(st.scale):.3f}, "
+                f"noise {st.noise_bits:.2f} bits, "
+                f"budget {st.budget_bits:.2f} bits"
+            )
+        return "\n".join(lines)
+
+
+def _level_chain(ctx) -> dict[int, tuple[int, ...]]:
+    """``{level: primes}`` for every level reachable by dropping limbs."""
+    chain = {}
+    c = ctx
+    while True:
+        chain[c.num_limbs] = tuple(c.primes)
+        if c.num_limbs == 1:
+            break
+        c = c.drop_last()
+    return chain
+
+
+class _Checker:
+    def __init__(self, plan, drift_warn_bits: float):
+        self.plan = plan
+        self.drift = float(drift_warn_bits)
+        self.chain = _level_chain(plan.ctx)
+        self.log_q = {
+            lvl: sum(math.log2(q) for q in primes)
+            for lvl, primes in self.chain.items()
+        }
+        n = plan.ctx.ring_degree
+        self.half_n = 0.5 * math.log2(n)
+        self.fresh = math.log2(8.0 * plan._sigma * math.sqrt(2.0 * n))
+        self.errors: list[Diagnostic] = []
+        self.warnings: list[Diagnostic] = []
+        self.states: list[NodeState | None] = [None] * plan._n_slots
+        self.working_scale = max(
+            (scale for _, _, scale in plan._inputs), default=1.0
+        )
+
+    # -- reporting helpers -------------------------------------------------
+    def _where(self, i, step) -> str:
+        label = getattr(step, "label", "") or step.kind
+        reg = f"->r{step.dst}" if step.dst >= 0 else ""
+        return f"step {i} ({label}{reg})"
+
+    def error(self, code, i, step, detail) -> None:
+        self.errors.append(
+            Diagnostic("error", code, self._where(i, step), detail)
+        )
+
+    def warn(self, code, i, step, detail) -> None:
+        self.warnings.append(
+            Diagnostic("warning", code, self._where(i, step), detail)
+        )
+
+    # -- state helpers -----------------------------------------------------
+    def _src(self, i, step, slot) -> NodeState | None:
+        if not (0 <= slot < len(self.states)) or self.states[slot] is None:
+            self.error(
+                "invalid-step", i, step,
+                f"reads register r{slot} before any step defines it",
+            )
+            return None
+        return self.states[slot]
+
+    def _budget(self, level: int, noise: float) -> float:
+        return self.log_q[level] - 1.0 - noise
+
+    def _ks_bits(self, ksk) -> float:
+        return self.plan._ks_bits(ksk)
+
+    def _check_key(self, i, step, ksk, what) -> None:
+        expected = self.chain.get(step.level)
+        if tuple(ksk.base_primes) != expected:
+            self.error(
+                "key-level-mismatch", i, step,
+                f"{what} key was generated for a "
+                f"{len(ksk.base_primes)}-limb basis but the step runs at "
+                f"level {step.level}; key switching there would fail",
+            )
+
+    def _check_scales(self, i, step, sa, sb, op) -> None:
+        # Mirrors Evaluator._check_scales (SCALE_RTOL) without importing
+        # the evaluator at module scope.
+        if not math.isclose(sa, sb, rel_tol=1e-9):
+            self.error(
+                "scale-mismatch", i, step,
+                f"{op} operands at scales 2^{math.log2(sa):.3f} and "
+                f"2^{math.log2(sb):.3f}; the eager evaluator would refuse "
+                "this pair — rescale/re-encode to a common scale",
+            )
+
+    def _finish(
+        self, i, step, level, scale, noise, raised, src_exhausted
+    ) -> None:
+        """Apply fused rescales (executor-identical) and store the state."""
+        if step.rescales:
+            scale_before = scale
+            for _ in range(step.rescales):
+                q_last = self.chain[level][-1]
+                noise = max(noise - math.log2(q_last), self.half_n + 1.0)
+                scale = scale / q_last
+                level -= 1
+            self._rescale_quality(
+                i, step, scale_before, scale, raised
+            )
+            raised = False
+        budget = self._budget(level, noise)
+        exhausted = src_exhausted
+        if budget <= 0.0 and not exhausted:
+            self.error(
+                "budget-exhausted", i, step,
+                f"predicted noise {noise:.2f} bits >= "
+                f"log2(Q_{level}) - 1 = {self.log_q[level] - 1.0:.2f}: "
+                "the result cannot decrypt correctly",
+            )
+            exhausted = True
+        if (
+            math.log2(scale) >= self.log_q[level]
+            and not (src_exhausted and budget <= 0.0)
+        ):
+            self.warn(
+                "scale-overflow", i, step,
+                f"scale 2^{math.log2(scale):.1f} exceeds the level-"
+                f"{level} modulus ({self.log_q[level]:.1f} bits): any "
+                "slot of magnitude >= 1 wraps",
+            )
+        self.states[step.dst] = NodeState(
+            level=level,
+            scale=scale,
+            noise_bits=noise,
+            budget_bits=budget,
+            step=i,
+            label=getattr(step, "label", "") or step.kind,
+            raised=raised,
+            exhausted=exhausted,
+        )
+
+    def _rescale_quality(self, i, step, before, after, raised) -> None:
+        """Drift / waste / underflow checks for one rescale chain."""
+        if not raised:
+            self.warn(
+                "wasteful-rescale", i, step,
+                "rescale applied to a value with no multiply since the "
+                "previous rescale/input: drops a level for nothing",
+            )
+        if after < 1.0:
+            self.warn(
+                "scale-underflow", i, step,
+                f"rescale leaves scale 2^{math.log2(after):.2f} < 1: "
+                "the encoded image rounds away",
+            )
+        drift = abs(math.log2(after) - math.log2(self.working_scale))
+        if drift > self.drift:
+            self.warn(
+                "scale-drift", i, step,
+                f"rescale lands {drift:.2f} bits from the working scale "
+                f"2^{math.log2(self.working_scale):.1f} (tolerance "
+                f"{self.drift:.1f}): the prime schedule and scale "
+                "schedule disagree",
+            )
+
+    # -- main walk ---------------------------------------------------------
+    def run(self) -> PlanReport:
+        plan = self.plan
+        steps = plan._steps
+        hoist_groups: dict[int, int] = {}  # gidx -> step index
+        hoist_uses: dict[int, int] = {}
+        consumers: dict[int, list] = {}
+        for step in steps:
+            for s in step.srcs:
+                consumers.setdefault(s, []).append(step)
+
+        for i, step in enumerate(steps):
+            kind = step.kind
+            if kind == "input":
+                name, scale = step.payload
+                self.states[step.dst] = NodeState(
+                    level=step.level,
+                    scale=scale,
+                    noise_bits=self.fresh,
+                    budget_bits=self._budget(step.level, self.fresh),
+                    step=i,
+                    label=getattr(step, "label", "") or f"input:{name}",
+                )
+            elif kind in ("add", "sub"):
+                a = self._src(i, step, step.srcs[0])
+                b = self._src(i, step, step.srcs[1])
+                if a is None or b is None:
+                    continue
+                if a.level != b.level or a.level != step.level:
+                    self.error(
+                        "level-mismatch", i, step,
+                        f"{kind} operands at levels {a.level} and "
+                        f"{b.level} (step declares {step.level})",
+                    )
+                self._check_scales(i, step, a.scale, b.scale, kind)
+                self._finish(
+                    i, step, step.level, a.scale,
+                    _combine_bits(a.noise_bits, b.noise_bits),
+                    a.raised or b.raised,
+                    a.exhausted or b.exhausted,
+                )
+            elif kind == "negate":
+                ct = self._src(i, step, step.srcs[0])
+                if ct is None:
+                    continue
+                self._finish(
+                    i, step, step.level, ct.scale, ct.noise_bits,
+                    ct.raised, ct.exhausted,
+                )
+            elif kind == "add_plain":
+                ct = self._src(i, step, step.srcs[0])
+                if ct is None:
+                    continue
+                pt = step.payload
+                self._check_scales(i, step, ct.scale, pt.scale, kind)
+                self._finish(
+                    i, step, step.level, ct.scale, ct.noise_bits,
+                    ct.raised, ct.exhausted,
+                )
+            elif kind == "multiply_plain":
+                ct = self._src(i, step, step.srcs[0])
+                if ct is None:
+                    continue
+                pt = step.payload[0]
+                noise = ct.noise_bits + math.log2(pt.scale) + self.half_n
+                self._finish(
+                    i, step, step.level, ct.scale * pt.scale, noise,
+                    True, ct.exhausted,
+                )
+            elif kind == "mac":
+                pts = step.payload[0]
+                cts = [self._src(i, step, s) for s in step.srcs]
+                if any(ct is None for ct in cts):
+                    continue
+                self._check_mac_headroom(i, step, len(cts))
+                noise = None
+                for ct, pt in zip(cts, pts):
+                    bits = (
+                        ct.noise_bits + math.log2(pt.scale) + self.half_n
+                    )
+                    noise = (
+                        bits if noise is None
+                        else _combine_bits(noise, bits)
+                    )
+                self._finish(
+                    i, step, step.level,
+                    cts[0].scale * pts[0].scale, noise,
+                    True, any(ct.exhausted for ct in cts),
+                )
+            elif kind == "multiply":
+                a = self._src(i, step, step.srcs[0])
+                b = self._src(i, step, step.srcs[1])
+                if a is None or b is None:
+                    continue
+                if a.level != b.level or a.level != step.level:
+                    self.error(
+                        "level-mismatch", i, step,
+                        f"multiply operands at levels {a.level} and "
+                        f"{b.level} (step declares {step.level})",
+                    )
+                relin = step.payload[0]
+                self._check_key(i, step, relin, "relinearization")
+                noise = _combine_bits(
+                    _combine_bits(
+                        a.noise_bits + math.log2(b.scale),
+                        b.noise_bits + math.log2(a.scale),
+                    )
+                    + self.half_n,
+                    self._ks_bits(relin),
+                )
+                self._finish(
+                    i, step, step.level, a.scale * b.scale, noise,
+                    True, a.exhausted or b.exhausted,
+                )
+            elif kind == "hoist":
+                gidx = step.payload[0]
+                hoist_groups[gidx] = i
+                hoist_uses.setdefault(gidx, 0)
+                self._src(i, step, step.srcs[0])
+            elif kind == "galois":
+                ct = self._src(i, step, step.srcs[0])
+                if ct is None:
+                    continue
+                ksk, gidx = step.payload[1], step.payload[3]
+                hoist_uses[gidx] = hoist_uses.get(gidx, 0) + 1
+                self._check_key(i, step, ksk, "Galois")
+                noise = _combine_bits(ct.noise_bits, self._ks_bits(ksk))
+                self._finish(
+                    i, step, step.level, ct.scale, noise,
+                    ct.raised, ct.exhausted,
+                )
+            elif kind == "rescale":
+                ct = self._src(i, step, step.srcs[0])
+                if ct is None:
+                    continue
+                if ct.level < 2:
+                    self.error(
+                        "level-mismatch", i, step,
+                        f"rescale of a level-{ct.level} value: no limb "
+                        "left to drop",
+                    )
+                    continue
+                q_last = self.chain[ct.level][-1]
+                noise = max(
+                    ct.noise_bits - math.log2(q_last),
+                    self.half_n + 1.0,
+                )
+                scale = ct.scale / q_last
+                self._rescale_quality(
+                    i, step, ct.scale, scale, ct.raised
+                )
+                budget = self._budget(ct.level - 1, noise)
+                exhausted = ct.exhausted
+                if budget <= 0.0 and not exhausted:
+                    self.error(
+                        "budget-exhausted", i, step,
+                        f"predicted noise {noise:.2f} bits >= "
+                        f"log2(Q_{ct.level - 1}) - 1 = "
+                        f"{self.log_q[ct.level - 1] - 1.0:.2f}: the "
+                        "result cannot decrypt correctly",
+                    )
+                    exhausted = True
+                self.states[step.dst] = NodeState(
+                    level=ct.level - 1,
+                    scale=scale,
+                    noise_bits=noise,
+                    budget_bits=budget,
+                    step=i,
+                    label=getattr(step, "label", "") or "rescale",
+                    raised=False,
+                    exhausted=exhausted,
+                )
+            else:
+                self.error(
+                    "invalid-step", i, step, f"unknown step kind {kind!r}"
+                )
+
+            self._check_ntt_roundtrip(i, step, consumers)
+
+        for gidx, at in hoist_groups.items():
+            if not hoist_uses.get(gidx):
+                step = steps[at]
+                self.warn(
+                    "dead-hoist", at, step,
+                    f"hoisted ModUp tensor (group {gidx}) is never "
+                    "consumed by a Galois step",
+                )
+
+        outputs = {}
+        for name, slot in self.plan._outputs.items():
+            st = self.states[slot]
+            if st is not None:
+                outputs[name] = st
+        return PlanReport(
+            num_steps=len(steps),
+            errors=tuple(self.errors),
+            warnings=tuple(self.warnings),
+            output_states=outputs,
+        )
+
+    def _check_mac_headroom(self, i, step, terms) -> None:
+        qmax = max(self.chain[step.level])
+        capacity = UINT64_MAX // (2 * qmax - 1)
+        if terms > capacity:
+            self.error(
+                "mac-overflow", i, step,
+                f"{terms} MAC terms exceed the reduced-strategy "
+                f"accumulator headroom of {capacity} at level "
+                f"{step.level} (q_max={qmax})",
+            )
+
+    def _check_ntt_roundtrip(self, i, step, consumers) -> None:
+        """Planner's _keeps_ntt rule, replayed as a lint."""
+        if step.dst < 0 or step.emit_ntt or step.rescales:
+            return
+        if step.kind not in (
+            "add", "sub", "negate", "multiply_plain", "mac"
+        ):
+            return
+        if step.dst in self.plan._outputs.values():
+            return
+        users = consumers.get(step.dst, ())
+        if users and all(u.kind in _NTT_OK for u in users):
+            self.warn(
+                "redundant-ntt-roundtrip", i, step,
+                f"{step.kind} materializes coefficient-domain components "
+                "although every consumer accepts the NTT domain: the "
+                "schedule pays an inverse/forward transform pair for "
+                "nothing",
+            )
+
+
+def check_plan(plan, *, drift_warn_bits: float = 2.0) -> PlanReport:
+    """Statically analyze a compiled :class:`CircuitPlan`.
+
+    Propagates (level, scale, noise) through the step list with the
+    executor's exact formulas and reports budget exhaustion, scale
+    pathologies, dead hoists and redundant transform round trips —
+    see the module docstring for the full catalogue.  ``plan.analyze()``
+    is sugar for this function.
+
+    Args:
+        plan: a compiled :class:`~repro.scheme.circuit.CircuitPlan`.
+        drift_warn_bits: tolerated distance (bits) between a rescale
+            chain's landing scale and the plan's working scale before a
+            ``scale-drift`` warning fires.
+    """
+    return _Checker(plan, drift_warn_bits).run()

@@ -1,0 +1,99 @@
+"""Checked-execution ("sanitizer") support for the kernel stack.
+
+``REPRO_CHECKED=1`` (or ``PolyContext(checked=True)``) instruments the
+real kernels to assert, UBSan-style, the per-stage bounds the Level-1
+analyzer derives statically: every NTT stage checks its state against the
+kernel's stage invariant, every lazy-accumulator fold checks the observed
+magnitude against the tracked worst-case bound, and canonical-range
+producers (basis conversion, ModDown, exact rescale) check their outputs
+are genuinely canonical.  A violation raises
+:class:`~repro.errors.SanitizerError` naming the kernel, stage, limb and
+coefficient — so the analyzer and the implementation police each other.
+
+The flag is read from the environment *at construction time* of each
+kernel, so ``REPRO_CHECKED=1 pytest`` instruments everything without any
+call-site changes; ``PolyContext(checked=...)`` overrides per context.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import SanitizerError
+
+_FALSY = {"", "0", "false", "off", "no"}
+
+
+def checked_mode(override: bool | None = None) -> bool:
+    """Resolve the checked-execution flag.
+
+    An explicit ``override`` wins; otherwise ``REPRO_CHECKED`` decides
+    (any value except ``""``/``"0"``/``"false"``/``"off"``/``"no"``,
+    case-insensitively, enables it).
+    """
+    if override is not None:
+        return bool(override)
+    return os.environ.get("REPRO_CHECKED", "").strip().lower() not in _FALSY
+
+
+def assert_within(
+    values: np.ndarray,
+    upper,
+    *,
+    lower=0,
+    kernel: str,
+    stage: str,
+) -> None:
+    """Assert ``lower <= values <= upper`` elementwise (inclusive bounds).
+
+    ``upper``/``lower`` broadcast against ``values`` (per-limb bound
+    columns in the plain layout, repeated rows in the transposed layout).
+    On violation raises :class:`SanitizerError` naming the kernel, the
+    stage, and the first offending (limb, coefficient) with its value and
+    bound — the runtime mirror of the analyzer's first-violation report.
+    """
+    bad = values > upper
+    if lower is not None:
+        bad |= values < np.asarray(lower, dtype=values.dtype)
+    if not bad.any():
+        return
+    idx = np.unravel_index(int(np.argmax(bad)), values.shape)
+    bound = np.broadcast_to(np.asarray(upper), values.shape)[idx]
+    lo = (
+        int(np.broadcast_to(np.asarray(lower), values.shape)[idx])
+        if lower is not None
+        else "-inf"
+    )
+    raise SanitizerError(
+        f"checked mode: {kernel} {stage} produced {int(values[idx])} "
+        f"outside [{lo}, {int(bound)}] at row {idx[0]}, "
+        f"coefficient index {idx[1:] if len(idx) > 2 else idx[-1]}"
+    )
+
+
+def assert_fold_sound(
+    acc: np.ndarray,
+    bound: int,
+    *,
+    kernel: str,
+    signed: bool,
+) -> None:
+    """Assert an accumulator's observed magnitude respects its tracked bound.
+
+    Called just before a lazy fold: the worst-case bound the
+    :class:`~repro.poly.lazy.LazyAccumulator` charged statically must
+    dominate the real data, otherwise the static certificate and the
+    runtime disagree — exactly the cross-check sanitizer mode exists for.
+    """
+    observed = int(np.abs(acc.astype(np.int64)).max()) if signed else int(acc.max())
+    if observed <= bound:
+        return
+    flat = np.abs(acc.astype(np.int64)) if signed else acc
+    idx = np.unravel_index(int(np.argmax(flat)), acc.shape)
+    raise SanitizerError(
+        f"checked mode: {kernel} accumulator holds |{int(acc[idx])}| > "
+        f"tracked worst-case bound {bound} at limb {idx[0]}, "
+        f"coefficient {idx[-1]} — static bound tracking is unsound here"
+    )

@@ -50,3 +50,23 @@ class AccumulatorOverflowError(CheddarError):
 
 class TraceError(CheddarError):
     """A trace-mode operation was asked to produce real numeric data."""
+
+
+class StaticAnalysisError(CheddarError):
+    """A static-analysis pass could not prove a required invariant.
+
+    Raised by :meth:`repro.analysis.KernelCertificate.raise_if_failed` and
+    :meth:`repro.analysis.PlanReport.raise_if_failed` when the interval
+    analysis finds a carrier overflow, a broken 2q-lazy invariant, or a
+    plan whose noise budget is statically exhausted.
+    """
+
+
+class SanitizerError(CheddarError):
+    """Checked-mode execution observed a value outside its proved bound.
+
+    Raised by the ``REPRO_CHECKED=1`` instrumentation when a real kernel
+    produces a value that violates the statically derived per-stage range
+    certificate — the runtime half of the analyzer/implementation
+    cross-check.
+    """

@@ -53,6 +53,7 @@ from functools import cached_property
 
 import numpy as np
 
+from repro.analysis.sanitizer import assert_within, checked_mode
 from repro.errors import LayoutError, ParameterError
 from repro.poly.lazy import LazyAccumulator
 from repro.poly.ntt import _range_error
@@ -92,10 +93,18 @@ class BasisConverter:
     the converter, so steady-state conversions allocate nothing.
     """
 
-    def __init__(self, src_primes, dst_primes, ring_degree: int) -> None:
+    def __init__(
+        self,
+        src_primes,
+        dst_primes,
+        ring_degree: int,
+        *,
+        checked: bool | None = None,
+    ) -> None:
         self.src = _as_ints(src_primes)
         self.dst = _as_ints(dst_primes)
         self.n = int(ring_degree)
+        self.checked = checked_mode(checked)
         if not self.src or not self.dst:
             raise ParameterError("basis conversion needs non-empty bases")
         if len(set(self.src)) != len(self.src):
@@ -137,7 +146,8 @@ class BasisConverter:
         #: mulmod_cross and the accumulator's per-row moduli
         self.reducer = ShoupReducer(self.dst)
         self._acc = LazyAccumulator(
-            self.reducer, (l_out, self.n), strategy="reduced"
+            self.reducer, (l_out, self.n), strategy="reduced",
+            checked=self.checked,
         )
         #: worst-case |term| of one summed cross-product row (see fold)
         self._row_bound = l_in * (2 * max(self.dst) - 1)
@@ -250,7 +260,13 @@ class BasisConverter:
         acc.accumulate_value(sums, 2 * max(self.dst) - 1)
         if out is None:
             out = space[9]
-        return acc.fold_into(out)
+        acc.fold_into(out)
+        if self.checked:
+            assert_within(
+                out, self.reducer.q - np.uint64(1),
+                kernel="BasisConverter", stage="convert output",
+            )
+        return out
 
 
 class ModUp:
@@ -263,7 +279,15 @@ class ModUp:
     :class:`BasisConverter` pass.
     """
 
-    def __init__(self, ext_primes, lo: int, hi: int, ring_degree: int) -> None:
+    def __init__(
+        self,
+        ext_primes,
+        lo: int,
+        hi: int,
+        ring_degree: int,
+        *,
+        checked: bool | None = None,
+    ) -> None:
         ext = _as_ints(ext_primes)
         if not 0 <= lo < hi <= len(ext):
             raise ParameterError(
@@ -276,7 +300,9 @@ class ModUp:
             )
         self.lo, self.hi = lo, hi
         self.num_ext = len(ext)
-        self.converter = BasisConverter(ext[lo:hi], ext[:lo] + ext[hi:], ring_degree)
+        self.converter = BasisConverter(
+            ext[lo:hi], ext[:lo] + ext[hi:], ring_degree, checked=checked
+        )
 
     def apply(self, digit: np.ndarray, out: np.ndarray) -> np.ndarray:
         """``digit`` (digit rows, coeff domain) -> ``out`` (L_ext, N)."""
@@ -301,11 +327,21 @@ class ModDown:
     NTT-domain key-switch output skip inverse-transforming base rows.
     """
 
-    def __init__(self, base_primes, aux_primes, ring_degree: int) -> None:
+    def __init__(
+        self,
+        base_primes,
+        aux_primes,
+        ring_degree: int,
+        *,
+        checked: bool | None = None,
+    ) -> None:
         self.base = _as_ints(base_primes)
         self.aux = _as_ints(aux_primes)
         self.n = int(ring_degree)
-        self.converter = BasisConverter(self.aux, self.base, ring_degree)
+        self.checked = checked_mode(checked)
+        self.converter = BasisConverter(
+            self.aux, self.base, ring_degree, checked=self.checked
+        )
         self.p_modulus = 1
         for p in self.aux:
             self.p_modulus *= p
@@ -342,6 +378,11 @@ class ModDown:
         np.bitwise_and(s1, _U32, out=s1)  # in [0, 2q)
         np.subtract(s1, q, out=s2)
         np.minimum(s1, s2, out=out)
+        if self.checked:
+            assert_within(
+                out, q - np.uint64(1),
+                kernel="ModDown", stage="combine output",
+            )
         return out
 
     def apply(self, x_ext: np.ndarray, out: np.ndarray) -> np.ndarray:
@@ -540,10 +581,15 @@ class KeySwitcher:
         self.dnum = dnum
         n = ctx.ring_degree
         ext_primes = self.ext_ctx.primes
-        self.modups = [ModUp(ext_primes, lo, hi, n) for lo, hi in self.digits]
-        self.moddown = ModDown(ctx.primes, self.aux, n)
+        self.checked = bool(getattr(ctx, "checked", False))
+        self.modups = [
+            ModUp(ext_primes, lo, hi, n, checked=self.checked)
+            for lo, hi in self.digits
+        ]
+        self.moddown = ModDown(ctx.primes, self.aux, n, checked=self.checked)
         #: window engine over the auxiliary rows only (shared tables)
         self.aux_batch = self.ext_ctx.batch_ntt.take_rows(num_base, self.num_ext)
+        self.aux_batch.set_checked(self.checked)
         ext_shape = (self.num_ext, n)
         self._ext_buf = np.empty(ext_shape, np.uint64)
         self._ahat = np.empty(ext_shape, np.uint64)
@@ -558,8 +604,8 @@ class KeySwitcher:
         red = self.ext_ctx.batch_ntt.backend.red
         shape = (self.num_ext, self.ctx.ring_degree)
         return (
-            LazyAccumulator(red, shape, strategy="reduced"),
-            LazyAccumulator(red, shape, strategy="reduced"),
+            LazyAccumulator(red, shape, strategy="reduced", checked=self.checked),
+            LazyAccumulator(red, shape, strategy="reduced", checked=self.checked),
         )
 
     # -- planning ----------------------------------------------------------

@@ -57,6 +57,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.analysis.sanitizer import assert_within, checked_mode
 from repro.errors import ParameterError
 from repro.poly.ntt import (
     _power_table,
@@ -145,6 +146,19 @@ class BatchNTT:
     @property
     def num_limbs(self) -> int:
         return len(self.primes)
+
+    @property
+    def checked(self) -> bool:
+        return self._kernel.checked
+
+    def set_checked(self, flag: bool) -> None:
+        """Toggle sanitizer-mode per-stage assertions on this engine.
+
+        Kernels read ``REPRO_CHECKED`` at construction;
+        :class:`~repro.poly.rns_poly.PolyContext` calls this to propagate
+        an explicit ``checked=`` override onto shared/derived engines.
+        """
+        self._kernel.checked = bool(flag)
 
     def take(self, num_limbs: int) -> BatchNTT:
         """A BatchNTT over the first ``num_limbs`` limbs, sharing tables.
@@ -367,6 +381,12 @@ class _KernelBase:
         self.cols = len(primes) * self.chunks  # M, transposed-phase width
         q = np.array(primes, dtype=np.uint64)
         self.q_ucol = q.reshape(-1, 1)
+        #: sanitizer mode: assert the statically certified per-stage bound
+        #: (q-1 canonical, 2q-1 Barrett-lazy) after every butterfly stage
+        self.checked = checked_mode()
+        bound = q * np.uint64(self.lazy_factor) - np.uint64(1)
+        self._bound_col = bound.reshape(-1, 1)
+        self._bound_row = np.repeat(bound, self.chunks) if self.chunks else None
         self.cN = self._consts(lambda a: np.asarray(a).reshape(-1, 1, 1))
         self.cT = (
             self._consts(lambda a: np.repeat(np.asarray(a).reshape(-1),
@@ -416,6 +436,13 @@ class _KernelBase:
         if inverse:
             stages.reverse()  # GS consumes small-t stages first
         return stages
+
+    def _assert_state(self, x: np.ndarray, transposed: bool, stage: str) -> None:
+        """Checked mode: the ping buffer must respect the stage invariant
+        the Level-1 certificate proved (per-limb rows in the plain layout,
+        per-limb repeated columns in the transposed layout)."""
+        bound = self._bound_row if transposed else self._bound_col
+        assert_within(x, bound, kernel=f"{self.method_name} NTT", stage=stage)
 
     # -- buffers -----------------------------------------------------------
     def _workspace(self):
@@ -470,6 +497,8 @@ class _KernelBase:
             self._mul(v, tw, c, shape, yv)
             self._bfly(u, yu, yv, c, shape)
             x, y = y, x
+            if self.checked:
+                self._assert_state(x, transposed, f"forward stage m={m}")
             m <<= 1
         if transposed:
             x, y = self._transpose_out(x, y)
@@ -510,6 +539,8 @@ class _KernelBase:
                 yu, yv = yb[:, :, 0, :], yb[:, :, 1, :]
             self._gs(u, v, tw, c, shape, yu, yv)
             x, y = y, x
+            if self.checked:
+                self._assert_state(x, transposed, f"inverse stage m={m}")
             t <<= 1
             m = h
         if transposed:
@@ -521,6 +552,8 @@ class _KernelBase:
             v = x[:, lo : lo + half].reshape(length, 1, half)
             dst = y[:, lo : lo + half].reshape(length, 1, half)
             self._mul(v, tw, self.cN, (length, 1, half), dst)
+        if self.checked:
+            self._assert_state(y, False, "n^-1 scale")
         return self.exit(y, x, out)
 
 
@@ -528,6 +561,8 @@ class _Canon32Kernel(_KernelBase):
     """Canonical-uint32 state shared by the Shoup / Montgomery / SMR
     kernels: every stage value sits in [0, q), q < 2^31, so sums < 2q
     never wrap uint32 and every fold is one branch-free ``min``."""
+
+    lazy_factor = 1  # stage invariant [0, q): canonical state
 
     def _alloc_space(self):
         shape = (len(self.primes), self.n)
@@ -595,6 +630,7 @@ class _ShoupKernel(_Canon32Kernel):
 
     wide_dtype = np.uint64
     low_dtype = np.uint32
+    method_name = "shoup"
 
     def _consts(self, shape) -> _Layout:
         c = _Layout()
@@ -628,6 +664,7 @@ class _MontgomeryKernel(_Canon32Kernel):
 
     wide_dtype = np.uint64
     low_dtype = np.uint32
+    method_name = "montgomery"
 
     def _consts(self, shape) -> _Layout:
         c = _Layout()
@@ -670,6 +707,7 @@ class _SmrKernel(_Canon32Kernel):
 
     wide_dtype = np.int64
     low_dtype = np.int32
+    method_name = "smr"
 
     def _consts(self, shape) -> _Layout:
         c = _Layout()
@@ -711,6 +749,9 @@ class _BarrettKernel(_KernelBase):
     The intermediate integers match the reference's mulmod outputs before
     its strict fold, so canonical outputs are bit-identical.
     """
+
+    lazy_factor = 2  # stage invariant [0, 2q): Harvey-lazy state
+    method_name = "barrett"
 
     def _consts(self, shape) -> _Layout:
         c = _Layout()

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.sanitizer import assert_fold_sound, checked_mode
 from repro.errors import AccumulatorOverflowError, ParameterError
 from repro.rns.reduction import SignedMontgomeryReducer, align_rows
 
@@ -61,6 +62,7 @@ class LazyAccumulator:
         shape: tuple[int, ...] | int,
         *,
         strategy: str = "reduced",
+        checked: bool | None = None,
     ) -> None:
         if strategy not in ("reduced", "raw"):
             raise ParameterError(f"unknown lazy strategy {strategy!r}")
@@ -72,6 +74,9 @@ class LazyAccumulator:
             )
         self.reducer = reducer
         self.strategy = strategy
+        #: sanitizer mode: cross-check the tracked bound against the real
+        #: data at every fold (REPRO_CHECKED=1, or an explicit override)
+        self.checked = checked_mode(checked)
         qs = [int(v) for v in np.ravel(np.asarray(reducer.q))]
         #: worst-case limb modulus — per-term bound charges use it
         self.q = max(qs)
@@ -101,11 +106,29 @@ class LazyAccumulator:
 
     def _charge(self, amount: int, what: str) -> None:
         if self.bound + amount > self.limit:
+            from repro.analysis.ranges import safe_headroom
+
+            detail = ""
+            if self.acc.size:
+                mag = (
+                    np.abs(self.acc, dtype=np.int64)
+                    if self.signed
+                    else self.acc
+                )
+                idx = np.unravel_index(int(np.argmax(mag)), self.acc.shape)
+                limb = idx[0] if self.acc.ndim > 1 else 0
+                detail = (
+                    f"; largest live magnitude |{int(self.acc[idx])}| sits "
+                    f"at limb {limb}, coefficient {idx[-1]}"
+                )
             raise AccumulatorOverflowError(
                 f"{what} would push the lazy bound to "
                 f"{self.bound + amount} > {self.limit} "
                 f"({self.terms} terms accumulated, strategy "
-                f"{self.strategy!r}, q={self.q}); fold first"
+                f"{self.strategy!r}, q={self.q}); statically safe headroom "
+                f"at the current bound is "
+                f"{safe_headroom(self.limit, self.bound, self._per_term)} "
+                f"more worst-case term(s){detail}; fold first"
             )
         self.bound += amount
 
@@ -190,6 +213,11 @@ class LazyAccumulator:
         separately by the cost model, executed once per output instead of
         once per term.
         """
+        if self.checked:
+            assert_fold_sound(
+                self.acc, self.bound,
+                kernel="LazyAccumulator.fold", signed=self.signed,
+            )
         acc = self.acc
         if self.strategy == "raw":
             acc = self.reducer.reduce(acc)  # one Alg. 2 pass, into (-q, q)
@@ -229,6 +257,11 @@ class LazyAccumulator:
                 "terminal remainder runs in place on the accumulator "
                 "before the copy-out, so an aliased buffer would read "
                 "partially-folded state; pass a distinct buffer"
+            )
+        if self.checked:
+            assert_fold_sound(
+                self.acc, self.bound,
+                kernel="LazyAccumulator.fold_into", signed=self.signed,
             )
         acc = self.acc
         if self.strategy == "raw":

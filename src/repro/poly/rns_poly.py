@@ -29,6 +29,7 @@ from functools import cached_property
 
 import numpy as np
 
+from repro.analysis.sanitizer import assert_within, checked_mode
 from repro.errors import LayoutError, LevelError, ParameterError
 from repro.poly.batch_ntt import BatchNTT
 from repro.poly.cost import CostModel
@@ -113,6 +114,7 @@ class PolyContext:
         primes: Sequence[Prime | int],
         method: str = "smr",
         *,
+        checked: bool | None = None,
         _engines: list[NegacyclicNTT] | None = None,
         _batch: BatchNTT | None = None,
     ) -> None:
@@ -146,8 +148,14 @@ class PolyContext:
             self.batch_ntt = _batch
         else:
             self.batch_ntt = BatchNTT(self.primes, ring_degree, method)
+        #: sanitizer mode (REPRO_CHECKED=1 or an explicit override): real
+        #: kernels assert the statically certified bounds at runtime, and
+        #: the Level-1 certificate is validated eagerly below
+        self.checked = checked_mode(checked)
+        self.batch_ntt.set_checked(self.checked)
         #: column vector of limb moduli, broadcasts against (L, N) limb data
         self.moduli = np.array(self.primes, dtype=np.uint64).reshape(-1, 1)
+        self._certificate = None
         self._dropped: PolyContext | None = None
         self._parent: PolyContext | None = None
         #: base context this one was built from via :meth:`extend` (if any)
@@ -156,6 +164,28 @@ class PolyContext:
         self._bases: dict[int, PolyContext] = {}
         self._basis_kernels: dict[tuple, object] = {}
         self._switchers: dict[tuple, object] = {}
+        if self.checked:
+            # Checked execution only asserts bounds the analyzer actually
+            # proved; an unprovable family fails loudly up front instead.
+            self.range_certificate().raise_if_failed()
+
+    def range_certificate(self):
+        """The Level-1 :class:`~repro.analysis.ranges.KernelCertificate`
+        for this parameter family, computed once and cached.
+
+        The ahead-of-time replacement for runtime worst-case tracking:
+        one interval pass proves (or refutes) uint32/uint64 non-overflow
+        and the 2q-lazy invariant for every stage kernel, the rescale
+        chain and the lazy-accumulation headroom of this ``(N, primes,
+        method)`` family.
+        """
+        if self._certificate is None:
+            from repro.analysis.ranges import certify_kernels
+
+            self._certificate = certify_kernels(
+                self.ring_degree, self.primes, self.method
+            )
+        return self._certificate
 
     @property
     def ntts(self) -> list[NegacyclicNTT]:
@@ -184,12 +214,14 @@ class PolyContext:
         num_terminal: int,
         num_main: int,
         method: str = "smr",
+        checked: bool | None = None,
     ) -> PolyContext:
         """Context over a level's live limbs: terminals first, then mains."""
         return cls(
             pool.ring_degree,
             pool.limb_primes(num_terminal, num_main),
             method,
+            checked=checked,
         )
 
     @property
@@ -218,6 +250,7 @@ class PolyContext:
                 self.ring_degree,
                 self.primes[:-1],
                 self.method,
+                checked=self.checked,
                 _engines=None if self._ntts is None else self._ntts[:-1],
                 _batch=self.batch_ntt.take(self.num_limbs - 1),
             )
@@ -244,6 +277,7 @@ class PolyContext:
                 self.ring_degree,
                 self.primes + list(key),
                 self.method,
+                checked=self.checked,
                 _batch=self.batch_ntt.extend(key),
             )
             ext._ext_parent = self
@@ -272,6 +306,7 @@ class PolyContext:
                 self.ring_degree,
                 self.primes[: -num_aux],
                 self.method,
+                checked=self.checked,
                 _batch=self.batch_ntt.take(self.num_limbs - num_aux),
             )
             self._bases[num_aux] = base
@@ -285,7 +320,10 @@ class PolyContext:
         key = ("up", tuple(ext.primes))
         kern = self._basis_kernels.get(key)
         if kern is None:
-            kern = ModUp(ext.primes, 0, self.num_limbs, self.ring_degree)
+            kern = ModUp(
+                ext.primes, 0, self.num_limbs, self.ring_degree,
+                checked=self.checked,
+            )
             self._basis_kernels[key] = kern
         return kern
 
@@ -298,7 +336,10 @@ class PolyContext:
         key = ("down", num_aux)
         kern = self._basis_kernels.get(key)
         if kern is None:
-            kern = ModDown(base.primes, self.primes[-num_aux:], self.ring_degree)
+            kern = ModDown(
+                base.primes, self.primes[-num_aux:], self.ring_degree,
+                checked=self.checked,
+            )
             self._basis_kernels[key] = kern
         return kern
 
@@ -714,6 +755,7 @@ class RnsPolynomial:
                 batch.backend.red,
                 (ctx.num_limbs, ctx.ring_degree),
                 strategy=strategy,
+                checked=ctx.checked,
             )
         else:
             acc.reset()
@@ -795,6 +837,11 @@ class RnsPolynomial:
         np.bitwise_and(s1, np.uint64(0xFFFFFFFF), out=s1)  # in [0, 2q)
         np.subtract(s1, q, out=s2)
         out = np.minimum(s1, s2)
+        if self.ctx.checked:
+            assert_within(
+                out, q - np.uint64(1),
+                kernel="exact_rescale", stage="output",
+            )
         return RnsPolynomial(child, out, COEFF, scale=self.state.scale / q_last)
 
     # -- basis conversion / key switching (§4.3) ---------------------------

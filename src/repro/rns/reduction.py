@@ -106,6 +106,60 @@ class ReductionCost:
         return self.mul_instrs + self.add_instrs
 
 
+@dataclass(frozen=True)
+class ReducerContract:
+    """Machine-readable range contract of one Table-3 reducer.
+
+    The static analyzer (:mod:`repro.analysis.ranges`) seeds its interval
+    domain from these contracts instead of re-deriving the output ranges
+    from the implementations: ``output_lo_q``/``output_hi_q`` give the
+    reducer's *lazy* output range as exclusive multiples of the modulus
+    (``(-1, 1)`` means ``(-q, q)``, ``(0, 2)`` means ``[0, 2q)``), and
+    ``precondition`` states the input domain under which that range — the
+    reducer's axiom — holds.  The analyzer discharges the precondition
+    with exact per-limb arithmetic and only then assumes the output range.
+    """
+
+    name: str
+    signed: bool
+    carrier: str  # accumulator dtype the products ride in
+    output_lo_q: int  # exclusive lower bound, as a multiple of q
+    output_hi_q: int  # exclusive upper bound, as a multiple of q
+    precondition: str
+    axiom: str
+
+
+#: Range contracts the static analyzer discharges, one per Table-3 method.
+REDUCER_CONTRACTS = {
+    "barrett": ReducerContract(
+        "barrett", signed=False, carrier="uint64",
+        output_lo_q=-1, output_hi_q=2,
+        precondition="a, b canonical in [0, q) with q < 2^31",
+        axiom="r = x - floor(x*mu/2^64)*q lands in [0, 3q) for any "
+              "x < 2^64; one conditional fold brings it into [0, 2q)",
+    ),
+    "montgomery": ReducerContract(
+        "montgomery", signed=False, carrier="uint64",
+        output_lo_q=-1, output_hi_q=2,
+        precondition="x = a*b in [0, q*2^32)",
+        axiom="t = (x + mullo32(x, -q^-1)*q) >> 32 < x/2^32 + q < 2q",
+    ),
+    "shoup": ReducerContract(
+        "shoup", signed=False, carrier="uint64",
+        output_lo_q=-1, output_hi_q=2,
+        precondition="a < 2^32 and constant w in [0, q) with "
+                     "w' = floor(w*2^32 / q)",
+        axiom="(a*w - mulhi32(a, w')*q) mod 2^32 lands in [0, 2q)",
+    ),
+    "smr": ReducerContract(
+        "smr", signed=True, carrier="int64",
+        output_lo_q=-1, output_hi_q=1,
+        precondition="|x| < q * 2^31 (Alg. 2)",
+        axiom="x_hi - mulhi32(mullo32(x_lo, q^-1), q) lands in (-q, q)",
+    ),
+}
+
+
 #: Table 3 of the paper, as data the GPU model consumes.
 REDUCTION_COSTS = {
     "barrett": ReductionCost("barrett", mul_instrs=2 + 2, add_instrs=2,

@@ -336,10 +336,10 @@ class _Step:
     """One executor step of a compiled plan."""
 
     __slots__ = ("kind", "dst", "srcs", "payload", "rescales", "emit_ntt",
-                 "level")
+                 "level", "label")
 
     def __init__(self, kind, dst=-1, srcs=(), payload=None, rescales=0,
-                 emit_ntt=False, level=0):
+                 emit_ntt=False, level=0, label=""):
         self.kind = kind
         self.dst = dst
         self.srcs = tuple(srcs)
@@ -347,6 +347,8 @@ class _Step:
         self.rescales = rescales
         self.emit_ntt = emit_ntt
         self.level = level
+        #: trace-node provenance ("n<id>:<op>") for analyzer diagnostics
+        self.label = label
 
 
 #: consumer ops that accept an NTT-domain operand without forcing an
@@ -598,6 +600,10 @@ class CircuitPlan:
                 ))
             else:  # pragma: no cover - tracer and planner move together
                 raise ParameterError(f"unknown traced op {base.op!r}")
+            steps[-1].label = f"n{n.id}:{op}"
+            if op == "galois" and steps[-2].kind == "hoist":
+                if not steps[-2].label:
+                    steps[-2].label = f"n{n.id}:hoist"
 
         self._steps = steps
         self._n_slots = len(slot_of)
@@ -658,6 +664,20 @@ class CircuitPlan:
                 tag += "~ntt"
             parts.append(f"{tag}->r{s.dst}" if s.dst >= 0 else tag)
         return " ; ".join(parts)
+
+    def analyze(self, **kwargs):
+        """Static Level-2 check of this plan, without running it.
+
+        Sugar for :func:`repro.analysis.check_plan`: propagates
+        level/scale/noise-budget lattices over the step list with the
+        executor's exact formulas and returns a
+        :class:`~repro.analysis.plan_check.PlanReport` flagging budget
+        exhaustion, scale pathologies, dead hoists and redundant NTT
+        round trips before any ciphertext is touched.
+        """
+        from repro.analysis.plan_check import check_plan
+
+        return check_plan(self, **kwargs)
 
     def _ks_bits(self, ksk: KeySwitchKey) -> float:
         return math.log2(self._sigma * ksk.dnum * self.ctx.ring_degree)
