@@ -39,6 +39,7 @@ Usage:
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import platform
 import statistics
@@ -51,6 +52,7 @@ sys.path.insert(0, str(_REPO_ROOT / "src"))
 
 import numpy as np  # noqa: E402
 
+from repro.context import CkksContext  # noqa: E402
 from repro.poly.basis_conv import KeySwitchKey  # noqa: E402
 from repro.poly.ntt import automorphism_tables  # noqa: E402
 from repro.poly.rns_poly import PolyContext, RnsPolynomial  # noqa: E402
@@ -63,6 +65,11 @@ from repro.scheme import (  # noqa: E402
     KeyGenerator,
     SlotLinalg,
     galois_element,
+)
+from repro.serving import (  # noqa: E402
+    CkksServer,
+    ServingConfig,
+    verify_delivered,
 )
 
 METHODS = ("barrett", "montgomery", "shoup", "smr")
@@ -309,6 +316,92 @@ def _looped_rotate(
     qcol = ctx.moduli
     s = rc0 + d0
     return np.where(s >= qcol, s - qcol, s), d1
+
+
+def _bench_serving(
+    n: int, num_limbs: int, method: str, dnum: int, repeats: int
+) -> list[dict]:
+    """The ``serving`` cell: batched scheduler vs per-request replay.
+
+    Delivered values are verified before timing — approximately against
+    the unbatched per-request path (independent encryptions cannot
+    bit-match) and bit-exactly against a clean replay of each recorded
+    batch (:func:`repro.serving.loadgen.verify_delivered`).  The cell
+    carries two extra fields, ``p99_s`` and ``requests_per_s``, for the
+    serving-soak CI job.
+    """
+    cc = CkksContext(
+        ring_degree=n,
+        num_main=num_limbs - 1,
+        num_aux=3 if num_limbs <= 6 else 5,
+        dnum=dnum,
+        seed=0xC0FFEE,
+        method=method,
+    )
+    scale = 2.0**30
+
+    def tenant(tracer, x):
+        half = cc.encoder.encode([0.5], scale, num_slots=1)
+        prod = tracer.multiply_plain(x, half)
+        bump = cc.encoder.encode([0.25], prod.scale, num_slots=1)
+        return tracer.rescale(tracer.add_plain(prod, bump))
+
+    server = CkksServer(cc, config=ServingConfig(
+        batch_window_s=0.001,
+        default_deadline_s=60.0,
+        watchdog_s=60.0,
+        seed=0,
+    ))
+    server.register_tenant("affine", tenant, scale=scale)
+    k = 32
+    payloads = [round(float(v), 3) for v in np.linspace(-1.0, 1.0, k)]
+
+    def served_batch():
+        async def drive():
+            await server.start()
+            try:
+                return await asyncio.gather(
+                    *(server.submit("affine", v) for v in payloads)
+                )
+            finally:
+                await server.stop()
+
+        return asyncio.run(drive())
+
+    plan = server._tenants["affine"].plan
+
+    def unbatched():
+        out = []
+        for v in payloads:
+            ct = cc.encrypt([v], scale=scale, num_slots=1)
+            out.append(complex(cc.decrypt(plan.run(ct), num_slots=1)[0]))
+        return out
+
+    got = served_batch()
+    ref = unbatched()
+    for v, g, r in zip(payloads, got, ref):
+        assert abs(g - r) < 1e-4, (
+            f"serving deviates from the unbatched reference at {v}: {g} vs {r}"
+        )
+        assert abs(g.real - (0.5 * v + 0.25)) < 1e-4, (
+            f"serving result wrong at {v}: {g}"
+        )
+    assert verify_delivered(server) == 0, "served slots fail bit-match replay"
+    server.batch_log.clear()
+    server.latencies_s.clear()
+    best_b, med_b = _time(served_batch, repeats)
+    best_l, med_l = _time(unbatched, repeats)
+    lat = sorted(server.latencies_s)
+    p99 = lat[min(len(lat) - 1, int(len(lat) * 0.99))] if lat else 0.0
+    return [{
+        "op": "serving",
+        "batched_s": best_b,
+        "batched_med_s": med_b,
+        "looped_s": best_l,
+        "looped_med_s": med_l,
+        "p99_s": p99,
+        "requests_per_s": round(k / med_b, 2),
+    }]
 
 
 def bench_config(n: int, num_limbs: int, method: str, repeats: int, rng) -> list[dict]:
@@ -572,6 +665,19 @@ def bench_config(n: int, num_limbs: int, method: str, repeats: int, rng) -> list
     assert np.array_equal(got.c0.limbs, ref.c0.limbs), "circuit c0 differs"
     assert np.array_equal(got.c1.limbs, ref.c1.limbs), "circuit c1 differs"
     cell("circuit", compiled_circuit, eager_circuit)
+
+    # multi-tenant serving: shared-ciphertext batch scheduling -------------
+    # "batched" drives k single-slot queries through the asyncio serving
+    # layer, which packs them into one sparse-packed ciphertext and runs
+    # the tenant's compiled plan once per batch (queue + scheduler +
+    # integrity-check overhead included); "looped" is the unbatched
+    # alternative — one encrypt / plan replay / decrypt per query.
+    # Capped at N <= 1024: the larger rings' serving numbers are
+    # dominated by the same kernels the other cells already gate.
+    if n <= 1024:
+        cells.extend(
+            _bench_serving(n, num_limbs, method, dnum, repeats)
+        )
 
     for c in cells:
         c.update(

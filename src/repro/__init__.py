@@ -3,9 +3,10 @@
 Subpackages: :mod:`repro.rns` (primes, reducers, rescaling cycles),
 :mod:`repro.poly` (negacyclic NTT, RNS polynomials, lazy reduction, cost
 model), :mod:`repro.scheme` (RLWE keys, ciphertexts, the homomorphic
-evaluator and its composite cost model) and :mod:`repro.analysis` (the
+evaluator and its composite cost model), :mod:`repro.analysis` (the
 static overflow / noise-budget analyzer and sanitizer-checked
-execution).  See README.md for the architecture map.
+execution) and :mod:`repro.serving` (the fault-tolerant multi-tenant
+batch-serving layer).  See README.md for the architecture map.
 """
 
 from repro.errors import CheddarError
@@ -14,7 +15,10 @@ from repro.plan import Plan
 __all__ = [
     "CheddarError",
     "CkksContext",
+    "CkksServer",
+    "FaultInjector",
     "Plan",
+    "ServingConfig",
     "certify_kernels",
     "check_plan",
     "checked_mode",
@@ -23,6 +27,9 @@ __version__ = "0.1.0"
 
 #: analyzer entry points re-exported lazily (numpy-heavy, cycle-prone)
 _ANALYSIS = {"certify_kernels", "check_plan", "checked_mode"}
+
+#: serving entry points, equally lazy (asyncio + the whole scheme stack)
+_SERVING = {"CkksServer", "FaultInjector", "ServingConfig"}
 
 
 def __getattr__(name):
@@ -36,4 +43,8 @@ def __getattr__(name):
         import repro.analysis as analysis
 
         return getattr(analysis, name)
+    if name in _SERVING:
+        import repro.serving as serving
+
+        return getattr(serving, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -70,3 +70,101 @@ class SanitizerError(CheddarError):
     certificate — the runtime half of the analyzer/implementation
     cross-check.
     """
+
+
+class InjectedFaultError(CheddarError):
+    """A seeded fault-injection hook induced this kernel failure.
+
+    Raised by the serving layer's deterministic fault harness
+    (:mod:`repro.serving.faults`) from inside a real kernel via
+    :mod:`repro.hooks`, so recovery paths are exercised against genuine
+    mid-execution failures.  The scheduler treats it — like
+    :class:`SanitizerError` — as transient and retries with backoff.
+    """
+
+
+class PlanExecutionError(CheddarError):
+    """A compiled-plan step failed during replay; names the step.
+
+    Wraps the underlying kernel/evaluator error so a failure deep inside
+    :meth:`~repro.scheme.circuit.CircuitPlan.run` surfaces with plan
+    context instead of a bare kernel message: ``step_index`` into the
+    step list, the trace-node provenance ``label`` (``"n<id>:<op>"``),
+    and the caller-supplied ``tag`` (the serving layer passes its
+    ``tenant/request`` identity).  The original exception rides along as
+    ``__cause__``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        step_index: int,
+        label: str,
+        tag: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.step_index = int(step_index)
+        self.label = label
+        self.tag = tag
+
+
+class ServingError(CheddarError):
+    """Base of the serving-layer hierarchy: a structured rejection.
+
+    Every serving failure delivered to a client names its cause: a
+    stable machine-matchable ``code`` (e.g. ``"corrupted-payload"``,
+    ``"retries-exhausted"``, ``"watchdog-timeout"``), plus the
+    ``tenant`` and ``request_id`` it applies to when known.  Subclasses
+    carry a ``default_code`` so the common cases need no boilerplate.
+    """
+
+    default_code = "serving"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        code: str | None = None,
+        tenant: str | None = None,
+        request_id: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.code = code if code is not None else self.default_code
+        self.tenant = tenant
+        self.request_id = request_id
+
+
+class AdmissionError(ServingError):
+    """A tenant circuit was rejected at registration.
+
+    Raised before any request is accepted: the circuit failed to trace,
+    failed :meth:`~repro.scheme.circuit.CircuitPlan.analyze` (budget
+    exhaustion, scale mismatch, key-level mismatch, ...), or the tenant
+    name is unknown/duplicate.  The ``code`` distinguishes the cases.
+    """
+
+    default_code = "admission-rejected"
+
+
+class QueueFullError(ServingError):
+    """Backpressure: the bounded request queue rejected or shed a request."""
+
+    default_code = "queue-full"
+
+
+class DeadlineExceededError(ServingError):
+    """A request's deadline passed before a result could be delivered."""
+
+    default_code = "deadline-exceeded"
+
+
+class CircuitOpenError(ServingError):
+    """The tenant's circuit breaker is open: requests fast-fail.
+
+    The breaker quarantines a plan after repeated batch failures; the
+    message names the consecutive-failure count and the remaining
+    cool-down before a trial batch is admitted again.
+    """
+
+    default_code = "circuit-open"

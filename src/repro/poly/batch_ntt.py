@@ -57,6 +57,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro import hooks
 from repro.analysis.sanitizer import assert_within, checked_mode
 from repro.errors import ParameterError
 from repro.poly.ntt import (
@@ -261,6 +262,7 @@ class BatchNTT:
         (the input is copied into the workspace before any write).
         """
         self._check_shape(a, "forward")
+        hooks.emit("batch_ntt.forward")
         return self._kernel.forward(a, out=out)
 
     def inverse(self, a_hat: np.ndarray, *, out: np.ndarray | None = None):
@@ -269,6 +271,7 @@ class BatchNTT:
         ``out`` as in :meth:`forward`.
         """
         self._check_shape(a_hat, "inverse")
+        hooks.emit("batch_ntt.inverse")
         return self._kernel.inverse(a_hat, out=out)
 
     # -- NTT-domain arithmetic ---------------------------------------------

@@ -29,6 +29,7 @@ from functools import cached_property
 
 import numpy as np
 
+from repro import hooks
 from repro.analysis.sanitizer import assert_within, checked_mode
 from repro.errors import LayoutError, LevelError, ParameterError
 from repro.poly.batch_ntt import BatchNTT
@@ -39,6 +40,31 @@ from repro.rns.primes import Prime, PrimePool
 
 COEFF = "coeff"
 NTT = "ntt"
+
+#: odd 64-bit mixing constant (golden-ratio) for the fingerprint fold
+_FP_MIX = np.uint64(0x9E3779B97F4A7C15)
+
+
+def data_fingerprint(arr: np.ndarray) -> int:
+    """Position-mixed xor checksum of an array's raw 64-bit words.
+
+    One vectorized pass: each word is xored with its (1-based) position
+    and multiplied by an odd 64-bit constant before the xor fold, so a
+    single bit flip, a swapped pair, or a torn write all change the
+    digest.  This targets the *silent-corruption* class (faulty memory,
+    stale caches written behind :meth:`LimbState.invalidate`'s back,
+    injected bit flips) — it is not a cryptographic hash and offers no
+    adversarial collision resistance.
+
+    Works on any array whose itemsize divides into 64-bit words
+    (uint64 limbs, float64, complex128 payloads).
+    """
+    a = np.ascontiguousarray(arr).reshape(-1)
+    w = a if a.dtype == np.uint64 else a.view(np.uint64)
+    with np.errstate(over="ignore"):
+        idx = np.arange(1, w.size + 1, dtype=np.uint64)
+        folded = np.bitwise_xor.reduce((w ^ idx) * _FP_MIX)
+        return int(folded ^ np.uint64(w.size))
 
 
 class LimbState:
@@ -521,6 +547,23 @@ class RnsPolynomial:
     def num_limbs(self) -> int:
         return self.ctx.num_limbs
 
+    def fingerprint(self) -> int:
+        """Cheap per-limb checksum of the limb matrix (plus domain/level).
+
+        One vectorized :func:`data_fingerprint` pass over the ``(L, N)``
+        words, mixed with the interpretation state — the same limbs in
+        the other domain fingerprint differently.  Used by the serving
+        layer's fault injector and circuit breaker to detect silent
+        corruption: any mutation of ``limbs`` that bypasses the public
+        mutator family (``add_`` / ``sub_`` / ``negate_``) leaves the
+        cached prepared/twin handles stale — such a mutation must call
+        :meth:`LimbState.invalidate`, and a fingerprint mismatch is how
+        the one that didn't gets caught.
+        """
+        tag = np.uint64(self.state.level * 2 + (1 if self.domain == NTT else 0))
+        with np.errstate(over="ignore"):
+            return int((np.uint64(data_fingerprint(self.limbs)) ^ tag) * _FP_MIX)
+
     def _check(self, other: RnsPolynomial) -> None:
         reason = self.ctx.mismatch_reason(other.ctx)
         if reason is not None:
@@ -747,6 +790,7 @@ class RnsPolynomial:
                 raise LayoutError(
                     "multiply_accumulate requires NTT-domain operands"
                 )
+        hooks.emit("rns_poly.mac")
         batch = ctx.batch_ntt
         signed = ctx.method == "smr"
         shoup = ctx.method == "shoup"
@@ -795,6 +839,7 @@ class RnsPolynomial:
             raise LayoutError("exact_rescale requires the coefficient domain")
         if self.num_limbs < 2:
             raise LevelError("cannot rescale a single-limb polynomial")
+        hooks.emit("rns_poly.rescale")
         child = self.ctx.drop_last()
         q_last = self.ctx.primes[-1]
         last = self.limbs[-1].astype(np.int64)

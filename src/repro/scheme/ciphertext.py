@@ -29,7 +29,7 @@ import math
 import numpy as np
 
 from repro.errors import LayoutError, ParameterError
-from repro.poly.rns_poly import LimbState, PolyContext, RnsPolynomial
+from repro.poly.rns_poly import _FP_MIX, LimbState, PolyContext, RnsPolynomial
 
 
 class Plaintext:
@@ -170,6 +170,26 @@ class Ciphertext:
     @property
     def scale(self) -> float:
         return self.state.scale
+
+    def fingerprint(self) -> int:
+        """Cheap state-integrity checksum over both components.
+
+        Folds the component polynomials'
+        :meth:`~repro.poly.rns_poly.RnsPolynomial.fingerprint` digests
+        with the authoritative scale, so any silent mutation of either
+        limb matrix — a bit flip, a stale cache written behind
+        :meth:`~repro.poly.rns_poly.LimbState.invalidate` — changes the
+        result.  The serving layer fingerprints a batch's input
+        ciphertext before dispatch and re-checks it afterwards; a
+        mismatch discards the (possibly corrupted) execution and
+        re-encrypts.  Not cryptographic: it detects faults, not
+        adversaries.
+        """
+        with np.errstate(over="ignore"):
+            h = np.uint64(self.c0.fingerprint()) * _FP_MIX
+            h ^= np.uint64(self.c1.fingerprint())
+            h ^= np.float64(self.scale).view(np.uint64)
+            return int(h * _FP_MIX)
 
     @property
     def noise_budget_bits(self) -> float:

@@ -41,12 +41,26 @@ from collections.abc import Mapping, Sequence
 
 import numpy as np
 
-from repro.errors import LevelError, ParameterError, TraceError
+from repro import hooks
+from repro.errors import (
+    CheddarError,
+    LevelError,
+    ParameterError,
+    PlanExecutionError,
+    TraceError,
+)
 from repro.poly.basis_conv import KeySwitchKey
 from repro.poly.cost import CostModel, OpCost, _merge
 from repro.poly.lazy import LazyAccumulator
 from repro.poly.ntt import automorphism_tables
-from repro.poly.rns_poly import COEFF, NTT, PolyContext, RnsPolynomial
+from repro.poly.rns_poly import (
+    _FP_MIX,
+    COEFF,
+    NTT,
+    PolyContext,
+    RnsPolynomial,
+    data_fingerprint,
+)
 from repro.scheme.ciphertext import Ciphertext, Plaintext
 from repro.scheme.cost import SchemeCostModel
 from repro.scheme.evaluator import (
@@ -665,6 +679,43 @@ class CircuitPlan:
             parts.append(f"{tag}->r{s.dst}" if s.dst >= 0 else tag)
         return " ; ".join(parts)
 
+    def fingerprint(self) -> int:
+        """Checksum over every captured plaintext constant in the plan.
+
+        Folds, per step, the fingerprints of the encoded plaintext
+        polynomials, their NTT-domain copies, *and* the backend-prepared
+        operand arrays the pointwise kernels actually consume (a
+        corrupted prepared handle would otherwise poison every product
+        while the source limbs still checksum clean), mixed with the
+        step index.  The serving layer records this at tenant
+        registration and re-checks it before each batch dispatch; a
+        mismatch quarantines the plan and triggers a rebuild from the
+        tenant's build function.  Fault detection only — not
+        cryptographic.
+        """
+        with np.errstate(over="ignore"):
+            h = np.uint64(len(self._steps))
+            for idx, step in enumerate(self._steps):
+                if step.kind == "multiply_plain":
+                    pt, p_ntt = step.payload
+                    polys = (pt.poly, p_ntt)
+                elif step.kind == "mac":
+                    pts, p_ntts = step.payload
+                    polys = tuple(pt.poly for pt in pts) + tuple(p_ntts)
+                elif step.kind == "add_plain":
+                    polys = (step.payload.poly,)
+                else:
+                    continue
+                for poly in polys:
+                    h = (h ^ np.uint64(poly.fingerprint())) * _FP_MIX
+                    prepared = poly.state.prepared
+                    if prepared is not None:
+                        for arr in prepared:
+                            word = np.uint64(data_fingerprint(arr))
+                            h = (h ^ word) * _FP_MIX
+                h ^= np.uint64(idx + 1)
+            return int(h * _FP_MIX)
+
     def analyze(self, **kwargs):
         """Static Level-2 check of this plan, without running it.
 
@@ -683,7 +734,9 @@ class CircuitPlan:
         return math.log2(self._sigma * ksk.dnum * self.ctx.ring_degree)
 
     # -- execution ---------------------------------------------------------
-    def run(self, inputs=None, **named) -> Ciphertext | dict[str, Ciphertext]:
+    def run(
+        self, inputs=None, *, tag=None, **named
+    ) -> Ciphertext | dict[str, Ciphertext]:
         """Replay the plan against fresh input ciphertexts.
 
         Inputs are passed as a mapping or keywords, one per declared
@@ -693,6 +746,14 @@ class CircuitPlan:
         :class:`~repro.errors.ParameterError` instead of producing
         garbage.  Returns a bare :class:`Ciphertext` for single-output
         plans, else ``{name: Ciphertext}``.
+
+        A library error raised *inside* a compute step is re-raised as
+        :class:`~repro.errors.PlanExecutionError` naming the step index,
+        the trace-node label, and the caller-supplied ``tag`` (the
+        serving layer passes its tenant/request identity); the original
+        exception rides along as ``__cause__``.  Input-validation steps
+        are exempt so callers keep the precise
+        :class:`~repro.errors.ParameterError` contract above.
         """
         provided: dict[str, Ciphertext] = {}
         if inputs is not None:
@@ -716,8 +777,24 @@ class CircuitPlan:
             )
 
         vals: list[Ciphertext | None] = [None] * self._n_slots
-        for step in self._steps:
-            self._run_step(step, vals, provided)
+        for idx, step in enumerate(self._steps):
+            try:
+                hooks.emit("circuit.step", step.label)
+                self._run_step(step, vals, provided)
+            except CheddarError as exc:
+                if step.kind == "input":
+                    # Input validation keeps its precise ParameterError
+                    # contract (stale plan / wrong scale name the input).
+                    raise
+                label = step.label or step.kind
+                who = f" [{tag}]" if tag else ""
+                raise PlanExecutionError(
+                    f"step {idx}/{len(self._steps)} ({label}){who} "
+                    f"failed: {exc}",
+                    step_index=idx,
+                    label=label,
+                    tag=tag,
+                ) from exc
         outs = {
             name: self._materialize(vals[slot])
             for name, slot in self._outputs.items()

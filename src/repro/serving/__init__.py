@@ -1,0 +1,41 @@
+"""Fault-tolerant multi-tenant CKKS serving layer.
+
+Public surface:
+
+* :class:`~repro.serving.scheduler.CkksServer` — asyncio request queue
+  + batch scheduler with admission control, deadlines, retry/backoff,
+  watchdog, and per-tenant circuit breakers;
+* :class:`~repro.serving.scheduler.ServingConfig` — tuning knobs;
+* :class:`~repro.serving.breaker.CircuitBreaker` — the breaker itself;
+* :class:`~repro.serving.faults.FaultInjector` — deterministic seeded
+  fault injection through :mod:`repro.hooks`;
+* :func:`~repro.serving.loadgen.run_load` /
+  :func:`~repro.serving.loadgen.verify_delivered` — deterministic load
+  generation and the bit-exact delivery oracle;
+* :func:`~repro.serving.soak.soak` — the end-to-end acceptance soak
+  (also ``python -m repro.serving.soak``).
+"""
+
+from repro.serving.breaker import CircuitBreaker
+from repro.serving.faults import FaultInjector
+from repro.serving.loadgen import (
+    LoadReport,
+    draw_specs,
+    run_load,
+    verify_delivered,
+)
+from repro.serving.scheduler import BatchRecord, CkksServer, ServingConfig
+from repro.serving.soak import soak
+
+__all__ = [
+    "BatchRecord",
+    "CircuitBreaker",
+    "CkksServer",
+    "FaultInjector",
+    "LoadReport",
+    "ServingConfig",
+    "draw_specs",
+    "run_load",
+    "soak",
+    "verify_delivered",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro.serving`` runs the fault-injection soak."""
+
+from repro.serving.soak import main
+
+raise SystemExit(main())

@@ -1,0 +1,101 @@
+"""Per-tenant circuit breaker: quarantine a plan that keeps failing.
+
+Classic three-state breaker (closed / open / half-open) guarding each
+tenant's compiled plan.  While *closed*, requests flow; each failed
+batch (retries exhausted) counts against ``threshold`` consecutive
+failures, and any success resets the count.  At the threshold the
+breaker *opens*: submissions fast-fail with
+:class:`~repro.errors.CircuitOpenError` instead of joining a queue whose
+batches keep dying — during a persistent fault (a corrupted key, a
+broken tenant circuit, an injected outage) this converts long tail
+latencies into immediate structured rejections and sheds load off the
+executor.  After ``cooldown_s`` the next :meth:`allow` moves the breaker
+*half-open*: exactly one trial batch is admitted; its success closes the
+breaker, its failure re-opens it for another full cool-down.
+
+The breaker is timing-driven, so it takes an injectable ``clock``
+(defaults to :func:`time.monotonic`) — tests pass a fake clock and step
+it instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+__all__ = ["CLOSED", "HALF_OPEN", "OPEN", "CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a cool-down and trial probe."""
+
+    __slots__ = ("threshold", "cooldown_s", "_clock", "_state",
+                 "_failures", "_opened_at")
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown_s: float = 1.0,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"breaker threshold must be >= 1, got {threshold}")
+        if cooldown_s <= 0:
+            raise ValueError(f"breaker cooldown must be > 0, got {cooldown_s}")
+        self.threshold = int(threshold)
+        self.cooldown_s = float(cooldown_s)
+        self._clock = clock
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        """Current state name (without side effects): closed/open/half-open."""
+        return self._state
+
+    @property
+    def failures(self) -> int:
+        """Consecutive recorded failures since the last success."""
+        return self._failures
+
+    @property
+    def retry_after_s(self) -> float:
+        """Seconds until an open breaker admits its trial batch (0 if not open)."""
+        if self._state != OPEN:
+            return 0.0
+        return max(0.0, self.cooldown_s - (self._clock() - self._opened_at))
+
+    def allow(self) -> bool:
+        """Whether a new request/batch may proceed right now.
+
+        An open breaker whose cool-down has elapsed transitions to
+        half-open and admits this one call as the trial.
+        """
+        if self._state == OPEN:
+            if self._clock() - self._opened_at >= self.cooldown_s:
+                self._state = HALF_OPEN
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        """A batch completed: close the breaker and reset the count."""
+        self._state = CLOSED
+        self._failures = 0
+
+    def record_failure(self) -> None:
+        """A batch failed terminally: count it, opening at the threshold.
+
+        A failure while half-open re-opens immediately — the trial batch
+        is the evidence the fault persists.
+        """
+        self._failures += 1
+        if self._state == HALF_OPEN or self._failures >= self.threshold:
+            self._state = OPEN
+            self._opened_at = self._clock()

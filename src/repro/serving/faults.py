@@ -1,0 +1,241 @@
+"""Deterministic seeded fault injection for the serving layer.
+
+The recovery machinery in :mod:`repro.serving.scheduler` is only worth
+trusting if it is exercised against *real* induced failures — a bit
+actually flipped in a limb matrix mid-execution, a kernel that actually
+raises, a batch that actually stalls past the watchdog — not mocks of
+them.  :class:`FaultInjector` provides exactly that, deterministically:
+every fault decision is drawn from ``np.random.default_rng((seed,
+request_id))``, so a given (seed, request id) always produces the same
+fault kind at the same point, independent of batch composition, retry
+interleaving or wall-clock timing.  A failing soak run replays exactly.
+
+Fault kinds (``KINDS``):
+
+``corrupt-payload``
+    Flip a low bit of the request's submitted value *after* its payload
+    fingerprint was taken (at :meth:`on_submit`).  Detected at batch-cut
+    time by the payload checksum; the request is rejected alone with a
+    structured ``corrupted-payload`` error while its co-batched
+    neighbours proceed untouched.
+``corrupt-plan``
+    Flip a bit inside one of the tenant plan's captured constants — the
+    backend-*prepared* operand array a pointwise kernel actually reads
+    (at :meth:`on_submit`).  Detected pre-dispatch by
+    :meth:`~repro.scheme.circuit.CircuitPlan.fingerprint`; the scheduler
+    rebuilds the plan from the tenant's build function.
+``bitflip-ct``
+    Flip one bit of the batch's input ciphertext limbs from *inside*
+    execution (on the second ``circuit.step`` event).  Detected after
+    the run by the input-ciphertext fingerprint; the scheduler discards
+    the tainted result, re-encrypts and retries.
+``kernel-error``
+    Raise :class:`~repro.errors.InjectedFaultError` from inside the
+    first forward NTT of the batch — a transient kernel failure,
+    retried with backoff.
+``stall``
+    Sleep ``stall_s`` inside the first ``circuit.step`` event so the
+    batch blows its watchdog; the scheduler times out, rebuilds the
+    plan (the stalled zombie thread may still write into the old plan's
+    scratch) and retries.
+``noise``
+    Exhaust the result's noise budget (a large post-run
+    ``noise_bits`` penalty); the scheduler's budget guard refuses to
+    deliver the result and retries.
+
+Faults fire only while ``attempt < transient_attempts``, so by
+construction every injected fault is *transient* and a correctly
+implemented retry path must eventually succeed — any surviving wrong
+answer or unstructured error is a real serving bug.  Persistent faults
+for breaker tests come from ``outages`` (tenant → batch-counter window
+during which every execution raises) and ``forced`` (request id → fault
+kind, overriding the seeded draw; ``transient_attempts`` still applies).
+
+The injector installs itself as the process-wide :mod:`repro.hooks`
+handler only inside an :meth:`arm` window around a single batch
+execution, and uninstalls on exit — the no-fault path never sees a
+handler.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.errors import InjectedFaultError
+from repro.hooks import install, uninstall
+
+__all__ = ["KINDS", "FaultInjector"]
+
+#: all injectable fault kinds, in draw order
+KINDS = (
+    "corrupt-payload",
+    "corrupt-plan",
+    "bitflip-ct",
+    "kernel-error",
+    "stall",
+    "noise",
+)
+
+
+class _Armed:
+    """Mutable per-arm-window state shared with the hook closure."""
+
+    __slots__ = ("kinds", "steps_seen", "ntts_seen", "ct", "noise_penalty_bits")
+
+    def __init__(self, kinds: set[str], ct) -> None:
+        self.kinds = kinds
+        self.steps_seen = 0
+        self.ntts_seen = 0
+        self.ct = ct
+        self.noise_penalty_bits = 0.0
+
+
+class FaultInjector:
+    """Seeded, per-request-deterministic fault source for one server."""
+
+    def __init__(
+        self,
+        seed: int,
+        *,
+        rate: float = 0.0,
+        kinds: tuple[str, ...] = KINDS,
+        stall_s: float = 0.25,
+        transient_attempts: int = 1,
+        forced: dict[int, str] | None = None,
+        outages: dict[str, tuple[int, int]] | None = None,
+    ) -> None:
+        bad = set(kinds) - set(KINDS)
+        if bad:
+            raise ValueError(f"unknown fault kinds {sorted(bad)}")
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {rate}")
+        self.seed = int(seed)
+        self.rate = float(rate)
+        self.kinds = tuple(kinds)
+        self.stall_s = float(stall_s)
+        self.transient_attempts = int(transient_attempts)
+        self.forced = dict(forced or {})
+        self.outages = dict(outages or {})
+        #: injected fault kinds, counted at the moment they fire
+        self.injected: Counter[str] = Counter()
+        #: request ids whose seeded/forced draw selected a fault
+        self.planned: dict[int, str] = {}
+        self._lock = threading.Lock()
+
+    # -- fault selection ---------------------------------------------------
+    def draw(self, request_id: int) -> str | None:
+        """The fault kind destined for ``request_id``, or ``None``.
+
+        Deterministic in (seed, request id): forced overrides first,
+        then one uniform draw against ``rate`` and a uniform choice of
+        kind.  Recorded in :attr:`planned` for post-hoc accounting.
+        """
+        kind = self.forced.get(request_id)
+        if kind is None and self.rate > 0.0 and self.kinds:
+            rng = np.random.default_rng((self.seed, request_id))
+            if rng.random() < self.rate:
+                kind = self.kinds[int(rng.integers(len(self.kinds)))]
+        if kind is not None:
+            self.planned[request_id] = kind
+        return kind
+
+    def on_submit(self, request) -> None:
+        """Submission-time corruption (after the payload fingerprint).
+
+        ``corrupt-payload`` flips a low bit of the request's value here,
+        modelling data corrupted in the queue; every other kind only
+        marks the request and fires later, during execution.
+        """
+        kind = self.draw(request.id)
+        if kind == "corrupt-payload":
+            request.value = float(
+                np.float64(request.value).view(np.uint64) ^ np.uint64(1 << 3)
+            )
+            self.injected[kind] += 1
+
+    def corrupt_plan(self, plan) -> bool:
+        """Flip one bit in a captured prepared operand of ``plan``.
+
+        Returns ``True`` if a constant was found and corrupted (plans
+        with no plaintext constants have nothing to corrupt).
+        """
+        for step in plan._steps:
+            if step.kind == "multiply_plain":
+                polys = (step.payload[1],)
+            elif step.kind == "mac":
+                polys = tuple(step.payload[1])
+            else:
+                continue
+            for poly in polys:
+                prepared = poly.state.prepared
+                if prepared:
+                    flat = prepared[0].reshape(-1).view(np.uint64)
+                    flat[0] ^= np.uint64(1 << 7)
+                    self.injected["corrupt-plan"] += 1
+                    return True
+        return False
+
+    # -- the arm window ----------------------------------------------------
+    @contextmanager
+    def arm(self, *, tenant: str, requests, attempt: int, batch_index: int, ct):
+        """Install execution-time faults around one ``plan.run``.
+
+        ``requests`` are the batch's packed requests; the union of their
+        planned fault kinds (each gated on ``attempt <
+        transient_attempts``) plus any active tenant outage decides what
+        the hook does.  Yields the armed-state object; after the block,
+        ``noise_penalty_bits`` holds any drawn noise-exhaustion penalty
+        to apply to the result.
+        """
+        kinds: set[str] = set()
+        lo, hi = self.outages.get(tenant, (0, -1))
+        if lo <= batch_index <= hi:
+            kinds.add("kernel-error")
+            self.injected["outage"] += 1
+        if attempt < self.transient_attempts:
+            for req in requests:
+                kind = self.planned.get(req.id)
+                if kind in ("bitflip-ct", "kernel-error", "stall", "noise"):
+                    kinds.add(kind)
+        armed = _Armed(kinds, ct)
+        if "noise" in kinds:
+            armed.noise_penalty_bits = 500.0
+            self.injected["noise"] += 1
+        if kinds & {"bitflip-ct", "kernel-error", "stall"}:
+            install(self._handler(armed))
+        try:
+            yield armed
+        finally:
+            uninstall()
+
+    def _handler(self, armed: _Armed):
+        def handle(site: str, payload: object) -> None:
+            if site == "batch_ntt.forward" and "kernel-error" in armed.kinds:
+                with self._lock:
+                    armed.ntts_seen += 1
+                    fire = armed.ntts_seen == 1
+                if fire:
+                    self.injected["kernel-error"] += 1
+                    raise InjectedFaultError(
+                        "injected transient kernel fault in batch_ntt.forward"
+                    )
+            if site == "circuit.step":
+                with self._lock:
+                    armed.steps_seen += 1
+                    n = armed.steps_seen
+                if n == 1 and "stall" in armed.kinds:
+                    self.injected["stall"] += 1
+                    time.sleep(self.stall_s)
+                if n == 2 and "bitflip-ct" in armed.kinds and armed.ct is not None:
+                    self.injected["bitflip-ct"] += 1
+                    armed.kinds.discard("bitflip-ct")
+                    limbs = armed.ct.c0.limbs
+                    limbs[0, 0] ^= np.uint64(1 << 11)
+                    armed.ct.c0.state.invalidate()
+
+        return handle
