@@ -10,8 +10,11 @@ batches keep dying — during a persistent fault (a corrupted key, a
 broken tenant circuit, an injected outage) this converts long tail
 latencies into immediate structured rejections and sheds load off the
 executor.  After ``cooldown_s`` the next :meth:`allow` moves the breaker
-*half-open*: exactly one trial batch is admitted; its success closes the
-breaker, its failure re-opens it for another full cool-down.
+*half-open*: exactly one trial batch is admitted (concurrent
+:meth:`allow` calls during the trial are rejected); its success closes
+the breaker, its failure re-opens it for another full cool-down, and a
+trial that never resolves goes stale after a further ``cooldown_s`` so
+a new one can be admitted.
 
 The breaker is timing-driven, so it takes an injectable ``clock``
 (defaults to :func:`time.monotonic`) — tests pass a fake clock and step
@@ -34,7 +37,7 @@ class CircuitBreaker:
     """Consecutive-failure breaker with a cool-down and trial probe."""
 
     __slots__ = ("threshold", "cooldown_s", "_clock", "_state",
-                 "_failures", "_opened_at")
+                 "_failures", "_opened_at", "_probe_at")
 
     def __init__(
         self,
@@ -53,6 +56,7 @@ class CircuitBreaker:
         self._state = CLOSED
         self._failures = 0
         self._opened_at = 0.0
+        self._probe_at = 0.0
 
     @property
     def state(self) -> str:
@@ -66,20 +70,39 @@ class CircuitBreaker:
 
     @property
     def retry_after_s(self) -> float:
-        """Seconds until an open breaker admits its trial batch (0 if not open)."""
-        if self._state != OPEN:
-            return 0.0
-        return max(0.0, self.cooldown_s - (self._clock() - self._opened_at))
+        """Seconds until the breaker admits another call (0 when closed).
+
+        While open, the remainder of the cool-down; while half-open with
+        the trial still unresolved, the remainder of the probe window.
+        """
+        now = self._clock()
+        if self._state == OPEN:
+            return max(0.0, self.cooldown_s - (now - self._opened_at))
+        if self._state == HALF_OPEN:
+            return max(0.0, self.cooldown_s - (now - self._probe_at))
+        return 0.0
 
     def allow(self) -> bool:
         """Whether a new request/batch may proceed right now.
 
         An open breaker whose cool-down has elapsed transitions to
-        half-open and admits this one call as the trial.
+        half-open and admits this one call as the trial; further calls
+        are rejected until the trial resolves via
+        :meth:`record_success`/:meth:`record_failure`.  A trial that
+        never resolves (e.g. its request was cancelled before a batch
+        ran) goes stale after another ``cooldown_s`` and a new trial is
+        admitted — the breaker cannot wedge shut.
         """
+        now = self._clock()
         if self._state == OPEN:
-            if self._clock() - self._opened_at >= self.cooldown_s:
+            if now - self._opened_at >= self.cooldown_s:
                 self._state = HALF_OPEN
+                self._probe_at = now
+                return True
+            return False
+        if self._state == HALF_OPEN:
+            if now - self._probe_at >= self.cooldown_s:
+                self._probe_at = now
                 return True
             return False
         return True

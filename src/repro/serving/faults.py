@@ -81,6 +81,11 @@ KINDS = (
     "noise",
 )
 
+#: bound on remembered planned-fault entries; far above any queue bound
+#: (the scheduler only reads entries for in-flight requests), so a
+#: long-running injector does not grow without limit
+_PLANNED_CAP = 4096
+
 
 class _Armed:
     """Mutable per-arm-window state shared with the hook closure."""
@@ -124,6 +129,7 @@ class FaultInjector:
         #: injected fault kinds, counted at the moment they fire
         self.injected: Counter[str] = Counter()
         #: request ids whose seeded/forced draw selected a fault
+        #: (bounded to the most recent ``_PLANNED_CAP`` entries)
         self.planned: dict[int, str] = {}
         self._lock = threading.Lock()
 
@@ -142,6 +148,10 @@ class FaultInjector:
                 kind = self.kinds[int(rng.integers(len(self.kinds)))]
         if kind is not None:
             self.planned[request_id] = kind
+            while len(self.planned) > _PLANNED_CAP:
+                # dicts iterate in insertion order: evict the oldest
+                # (lowest, long-since-resolved) request ids first
+                self.planned.pop(next(iter(self.planned)))
         return kind
 
     def on_submit(self, request) -> None:

@@ -52,7 +52,18 @@ delivery and the rest of the batch proceeds.
 Every delivered batch is recorded (input ciphertext, packing, delivered
 slot values) in :attr:`CkksServer.batch_log`, so
 :func:`repro.serving.loadgen.verify_delivered` can replay the exact
-computation and bit-compare what each client received.
+computation and bit-compare what each client received.  The log — like
+the latency samples — is a bounded ring buffer
+(``max_recorded_batches`` / ``max_latency_samples``) so a long-running
+server does not leak memory; size the bounds above the run length (or
+set ``record_batches=False``) when full-replay verification matters.
+
+Anything that escapes the layered recovery above (a bug in encrypt,
+decrypt, fingerprinting, or the injector itself) is caught by a
+last-ditch guard in the scheduler loop: the batch is rejected with a
+structured ``internal-error`` :class:`~repro.errors.ServingError` and
+the loop keeps serving — an unexpected exception never strands pending
+futures.
 """
 
 from __future__ import annotations
@@ -84,6 +95,10 @@ __all__ = ["BatchRecord", "CkksServer", "Request", "ServingConfig"]
 #: kernel exceptions worth retrying (vs failing the batch fast)
 _TRANSIENT = (InjectedFaultError, SanitizerError)
 
+#: on 3.10 asyncio.wait_for raises asyncio.TimeoutError, which is NOT
+#: the builtin TimeoutError (they were unified in 3.11); catch both
+_TIMEOUTS = (TimeoutError, asyncio.TimeoutError)
+
 
 @dataclass
 class ServingConfig:
@@ -103,6 +118,18 @@ class ServingConfig:
     min_budget_bits: float = 0.0    #: deliver only above this noise budget
     seed: int = 0                   #: jitter seed (deterministic backoff)
     record_batches: bool = True     #: keep batch_log for replay verification
+    max_recorded_batches: int = 4096    #: batch_log ring-buffer bound
+    max_latency_samples: int = 8192     #: latencies_s ring-buffer bound
+
+    def __post_init__(self) -> None:
+        s = self.max_batch_slots
+        if s is not None and (s < 1 or s & (s - 1)):
+            # sparse packings must divide N/2 (a power of two), so any
+            # non-power-of-two cap would make every batch fail
+            # validate_slots at encrypt time
+            raise ValueError(
+                f"max_batch_slots must be a power of two >= 1, got {s}"
+            )
 
 
 class Request:
@@ -172,8 +199,13 @@ class CkksServer:
         self._rng = np.random.default_rng(self.config.seed)
         self.metrics: Counter[str] = Counter()
         self.faults_detected: Counter[str] = Counter()
-        self.latencies_s: list[float] = []
-        self.batch_log: list[BatchRecord] = []
+        # ring buffers: a long-running server must not grow without bound
+        self.latencies_s: deque[float] = deque(
+            maxlen=self.config.max_latency_samples
+        )
+        self.batch_log: deque[BatchRecord] = deque(
+            maxlen=self.config.max_recorded_batches
+        )
 
     # -- admission control -------------------------------------------------
     def register_tenant(self, name: str, build, *, scale: float) -> None:
@@ -360,16 +392,20 @@ class CkksServer:
                 head.deadline - cfg.deadline_margin_s,
             )
             wait_s = cut_at - time.monotonic()
-            if wait_s > 0 and len(tenant.queue) < self._slots_cap():
+            live = sum(1 for r in tenant.queue if not r.future.done())
+            if wait_s > 0 and live < self._slots_cap():
                 self._wake.clear()
                 try:
                     await asyncio.wait_for(self._wake.wait(), wait_s)
-                except TimeoutError:
+                except _TIMEOUTS:
                     pass
                 continue  # re-pick: arrivals may change the best tenant
             batch = self._cut_batch(tenant)
             if batch:
-                await self._execute_batch(tenant, batch)
+                try:
+                    await self._execute_batch(tenant, batch)
+                except Exception as exc:
+                    self._fail_unexpected(tenant, batch, exc)
 
     def _cut_batch(self, tenant: _Tenant) -> list[Request]:
         """Pop up to a packing's worth of live requests off one queue.
@@ -476,7 +512,7 @@ class CkksServer:
                     out = await asyncio.wait_for(
                         asyncio.shield(fut), cfg.watchdog_s
                     )
-                except TimeoutError:
+                except _TIMEOUTS:
                     self.metrics["watchdog_fires"] += 1
                     self.faults_detected["watchdog-timeout"] += 1
                     fault = "watchdog-timeout"
@@ -531,10 +567,27 @@ class CkksServer:
         budget = self.config.watchdog_s + stall
         try:
             await asyncio.wait_for(asyncio.shield(fut), budget)
-        except (TimeoutError, CheddarError):
+        except _TIMEOUTS:
             pass
         except Exception:
             pass
+
+    def _fail_unexpected(self, tenant: _Tenant, batch, exc: Exception) -> None:
+        """Last-ditch guard: an exception escaping the per-batch recovery
+        machinery (encrypt, decrypt, fingerprinting, the injector) must
+        reject its batch with a structured error and leave the scheduler
+        loop alive — a dead loop silently strands every pending future.
+        """
+        tenant.breaker.record_failure()
+        self.metrics["internal_errors"] += 1
+        detail = f"{type(exc).__name__}: {exc}"
+        for req in batch:
+            self._reject(req, ServingError(
+                f"request {req.id} failed on an internal serving error: "
+                f"{detail}",
+                code="internal-error", tenant=tenant.name, request_id=req.id,
+            ))
+            self.metrics["failed"] += 1
 
     def _fail_batch(self, tenant: _Tenant, batch, exc: CheddarError) -> None:
         """Terminal (non-transient) failure: structured fail, count it."""

@@ -282,6 +282,26 @@ def test_breaker_state_machine():
     assert breaker.state == CLOSED and breaker.failures == 0
 
 
+def test_breaker_half_open_admits_single_probe():
+    """While a trial is in flight, further allow() calls are rejected;
+    an unresolved trial goes stale after another cool-down."""
+    t = {"now": 0.0}
+    breaker = CircuitBreaker(1, 10.0, clock=lambda: t["now"])
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    t["now"] = 10.0
+    assert breaker.allow()  # cooldown elapsed: the one trial
+    assert breaker.state == HALF_OPEN
+    assert not breaker.allow()  # a burst during the trial is rejected
+    assert breaker.retry_after_s == pytest.approx(10.0)
+    t["now"] = 15.0
+    assert not breaker.allow()
+    t["now"] = 20.0
+    assert breaker.allow()  # stale trial: a fresh probe is admitted
+    breaker.record_success()
+    assert breaker.state == CLOSED and breaker.allow()
+
+
 def test_breaker_opens_under_outage_and_resets_after_cooldown(cc):
     """A persistent tenant outage opens the breaker at the threshold;
     after cool-down a trial batch closes it again."""
@@ -321,6 +341,56 @@ def test_breaker_opens_under_outage_and_resets_after_cooldown(cc):
     assert outcome["state-after"] == CLOSED
     assert math.isclose(outcome["value"].real, 0.25, abs_tol=1e-4)
     assert injector.injected["outage"] >= 3
+
+
+# -- config validation & loop survival -------------------------------------
+
+def test_config_rejects_non_power_of_two_batch_cap():
+    """A non-power-of-two cap would fail validate_slots on every batch;
+    it is rejected at configuration time instead."""
+    with pytest.raises(ValueError, match="power of two"):
+        ServingConfig(max_batch_slots=3)
+    with pytest.raises(ValueError, match="power of two"):
+        ServingConfig(max_batch_slots=0)
+    assert ServingConfig(max_batch_slots=4).max_batch_slots == 4
+
+
+def test_history_collections_are_bounded(cc):
+    server = make_server(cc)
+    assert server.batch_log.maxlen == server.config.max_recorded_batches
+    assert server.latencies_s.maxlen == server.config.max_latency_samples
+
+
+def test_unexpected_error_rejects_batch_and_keeps_loop_alive(cc):
+    """An exception escaping the per-batch recovery machinery must
+    surface as a structured internal-error rejection, not kill the
+    scheduler loop and strand every later submission."""
+    server = make_server(cc)
+    real_encrypt = server.cc.encrypt
+    boom = {"armed": True}
+
+    def flaky_encrypt(*args, **kwargs):
+        if boom["armed"]:
+            boom["armed"] = False
+            raise RuntimeError("encrypt exploded")
+        return real_encrypt(*args, **kwargs)
+
+    async def scenario():
+        server.cc.encrypt = flaky_encrypt
+        try:
+            with pytest.raises(ServingError) as ei:
+                await server.submit("affine", 0.5)
+            assert ei.value.code == "internal-error"
+            assert "RuntimeError" in str(ei.value)
+            # the loop survived: the next submission is served normally
+            value = await server.submit("affine", 0.5)
+            assert math.isclose(value.real, 0.5, abs_tol=1e-4)
+        finally:
+            del server.cc.encrypt
+
+    serve(server, scenario())
+    assert server.metrics["internal_errors"] == 1
+    assert server.metrics["served"] == 1
 
 
 # -- step-level error context ----------------------------------------------
