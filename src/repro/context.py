@@ -59,6 +59,7 @@ class CkksContext:
         seed: int,
         num_terminal: int = 1,
         method: str = "smr",
+        backend: str | None = None,
         rotations=(),
         conjugate: bool = False,
         sigma: float = DEFAULT_SIGMA,
@@ -81,7 +82,12 @@ class CkksContext:
             num_terminal=num_terminal,
             num_main=num_main,
             method=method,
+            backend=backend,
         )
+        #: resolved execution tier (numpy / sharded / compiled) every
+        #: kernel under this instance dispatches through — see
+        #: :mod:`repro.poly.backends`
+        self.backend = self.poly_ctx.backend
         aux_primes = self.pool.extension_basis(
             num_terminal, num_main, dnum=dnum
         )

@@ -1,0 +1,150 @@
+"""Backend dispatch layer: numpy / process-sharded / compiled tiers.
+
+ROADMAP item 3: every bench cell bottoms out in the batched NTT stage
+kernels and the ``(L_out, L_in, N)`` CRT tensor pass, and both are
+embarrassingly parallel across limbs.  This package escalates those two
+hot paths behind a *bit-exact* dispatch seam with three tiers:
+
+``numpy``
+    The existing :class:`~repro.poly.batch_ntt.BatchNTT` stage kernels
+    and :class:`~repro.poly.basis_conv.BasisConverter` Shoup chains,
+    unchanged — the always-available reference tier every other tier
+    must bit-match.
+
+``sharded``
+    A persistent ``multiprocessing`` worker pool partitioning the
+    ``(L, N)`` limb matrix by rows over ``multiprocessing.shared_memory``
+    segments (:mod:`repro.poly.backends.sharded`).  Wins only when the
+    machine has cores to spare and ``L*N`` is large enough to amortize
+    the per-op IPC round trip; below :data:`~repro.poly.backends.sharded.
+    shard_min_elements` elements a call falls through to numpy.
+
+``compiled``
+    ctypes-loaded C implementations of the four Table-3 butterfly
+    stage-kernel families and the CRT tensor pass
+    (:mod:`repro.poly.backends.compiled`), built lazily with ``cc -O3``
+    and cached by source hash.  When no toolchain is present the tier
+    degrades to numpy with a single :class:`BackendFallbackWarning` per
+    process — never an error, never a per-call warning.
+
+Tier selection follows the same precedence discipline as ``checked``
+(:func:`repro.analysis.sanitizer.checked_mode`): an explicit
+constructor argument wins, else the ``REPRO_BACKEND`` environment
+variable, else ``numpy``.  Dispatch is *transparent*:
+``RnsPolynomial`` / ``BasisConverter`` / ``KeySwitcher`` /
+``CircuitPlan`` never branch on tier, and the sanitizer
+(``REPRO_CHECKED=1``) plus the PR 7 certified stage bounds apply
+identically to every tier (the compiled kernels re-check the per-stage
+invariant in C and surface violations as
+:class:`~repro.errors.SanitizerError`; sharded workers run the numpy
+kernels, checks included, in-process).
+
+Bit-exactness is the acceptance bar, not an aspiration: every tier's
+NTT outputs are *canonical exact* transforms over the same bit-reversed
+twiddle tables and the converter outputs are the exact CRT residues
+``X mod p_j``, so equality with the numpy tier is guaranteed by
+construction and asserted — across the full parity grid — in
+``tests/test_backends.py`` and before every timed bench cell.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "BACKEND_TIERS",
+    "BackendFallbackWarning",
+    "close_backends",
+    "make_convert_impl",
+    "make_ntt_impl",
+    "resolve_backend",
+]
+
+#: the three dispatch tiers, reference tier first
+BACKEND_TIERS = ("numpy", "sharded", "compiled")
+
+
+class BackendFallbackWarning(RuntimeWarning):
+    """A requested backend tier degraded to the numpy reference tier.
+
+    Emitted at most once per process per cause (e.g. ``compiled``
+    requested with no C toolchain on PATH) — degraded dispatch is loud
+    exactly once, then silent, so a hot loop is never spammed.
+    """
+
+
+def resolve_backend(override: str | None = None) -> str:
+    """Resolve the backend tier with the ``checked_mode`` precedence.
+
+    An explicit ``override`` (constructor argument) wins; otherwise the
+    ``REPRO_BACKEND`` environment variable; otherwise ``"numpy"``.  An
+    unknown tier name raises :class:`~repro.errors.ParameterError`
+    loudly rather than silently running the reference tier.
+    """
+    if override is None:
+        name = os.environ.get("REPRO_BACKEND", "").strip().lower() or "numpy"
+    else:
+        name = str(override).strip().lower()
+    if name not in BACKEND_TIERS:
+        raise ParameterError(
+            f"unknown backend tier {name!r}; expected one of "
+            f"{', '.join(BACKEND_TIERS)}"
+        )
+    return name
+
+
+def make_ntt_impl(engine, tier: str):
+    """Build the tier implementation for one ``BatchNTT``, or ``None``.
+
+    ``None`` means "use the numpy kernels" — either because the numpy
+    tier was selected or because the requested tier is unavailable
+    (which will already have warned once).  The returned impl object
+    exposes ``forward(a, out)`` / ``inverse(a_hat, out)`` /
+    ``pointwise_prepared(a_hat, prepared)``, each returning the result
+    array or ``None`` to fall through to the numpy kernels per call.
+    """
+    if tier == "compiled":
+        from repro.poly.backends.compiled import make_compiled_ntt
+
+        return make_compiled_ntt(engine)
+    if tier == "sharded":
+        from repro.poly.backends.sharded import make_sharded_ntt
+
+        return make_sharded_ntt(engine)
+    return None
+
+
+def make_convert_impl(converter, tier: str):
+    """Tier implementation for one ``BasisConverter``, or ``None``.
+
+    The impl exposes ``convert_core(x_hat, v_row, out)`` with the same
+    fall-through contract as :func:`make_ntt_impl`: the scale step and
+    the exact v-correction term always run in the main process (the
+    v guard needs Python big ints), and the tier takes over the
+    ``(L_out, L_in, N)`` tensor pass + fold.
+    """
+    if tier == "compiled":
+        from repro.poly.backends.compiled import make_compiled_convert
+
+        return make_compiled_convert(converter)
+    if tier == "sharded":
+        from repro.poly.backends.sharded import make_sharded_convert
+
+        return make_sharded_convert(converter)
+    return None
+
+
+def close_backends() -> None:
+    """Release every backend-held OS resource (worker pool, segments).
+
+    Idempotent; also wired to ``atexit`` by the sharded tier itself, so
+    calling it is only needed for deterministic mid-process teardown
+    (tests assert zero shared-memory residue right after this).
+    """
+    import sys
+
+    sharded = sys.modules.get("repro.poly.backends.sharded")
+    if sharded is not None:
+        sharded.close_pool()

@@ -1,0 +1,552 @@
+"""Process-sharded backend tier: limb-row partitioning over shared memory.
+
+The ``(L, N)`` limb matrix ops this package dispatches are
+embarrassingly parallel across limb rows (NTT: each limb transforms
+independently; CRT convert: each *output* row is an independent dot
+through the full ``x_hat``), so this tier splits rows across a
+persistent pool of worker processes:
+
+* one pool per process, built lazily on first large-enough call and torn
+  down by :func:`close_pool` (explicitly, or via the registered
+  ``atexit`` hook — tests assert zero ``/dev/shm`` residue after both);
+* data crosses the process boundary through named
+  ``multiprocessing.shared_memory`` segments (zero-copy ``np.ndarray``
+  views on both sides; the pool grows and reuses a small set of
+  segments, so steady state allocates nothing);
+* workers build *numpy-tier* row-slice engines (``BatchNTT`` /
+  ``BasisConverter``, pinned to the parent's roots so outputs are
+  bit-identical rows of the reference result) once per (engine, row
+  range) and keep them — twiddle tables are mapped once at pool start
+  for the lifetime of the pool, exactly like the paper's
+  device-resident tables;
+* checked mode rides along: the per-call flag reaches the worker, whose
+  numpy kernels run the same certified-bound asserts in-process and
+  surface :class:`~repro.errors.SanitizerError` back to the caller.
+
+Sharding pays one pipe round trip and two segment copies per op, so it
+only wins when ``L*N`` is large and cores are plentiful;
+below :func:`shard_min_elements` elements (``REPRO_SHARD_MIN``, default
+4096) a call falls through to the numpy tier instead of paying IPC on
+tiny matrices.
+
+Failure model: a worker dying mid-operation raises
+:class:`~repro.errors.ShardCrashError` on the observing call, the pool
+is torn down (segments unlinked — no leaks even on crash), and the
+crashed state is latched: subsequent calls degrade silently to the
+numpy tier rather than respawning into an unknown failure or erroring
+forever.  A *clean* :func:`close_pool` does allow a later call to build
+a fresh pool.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import warnings
+from multiprocessing import shared_memory
+from multiprocessing.connection import Client, Listener
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import (
+    ParameterError,
+    SanitizerError,
+    ShardCrashError,
+)
+from repro.poly.backends import BackendFallbackWarning
+from repro.poly.ntt import _range_error
+
+_POOL: _Pool | None = None
+_CRASHED = False
+
+#: exception types a worker may raise that map back onto library types
+#: (anything else surfaces as ShardCrashError-adjacent BackendError text)
+_ERROR_TYPES = {
+    "SanitizerError": SanitizerError,
+    "ParameterError": ParameterError,
+    "LayoutError": ParameterError,
+}
+
+_PIPE_EXC = (EOFError, BrokenPipeError, ConnectionResetError, OSError)
+
+
+def _reset() -> None:
+    """Release the pool and clear the crash latch (tests only)."""
+    global _CRASHED
+    close_pool()
+    _CRASHED = False
+
+
+def shard_min_elements() -> int:
+    """Dispatch floor: matrices under this many elements stay on numpy."""
+    try:
+        return int(os.environ.get("REPRO_SHARD_MIN", "4096"))
+    except ValueError:
+        return 4096
+
+
+def _num_workers() -> int:
+    try:
+        want = int(os.environ.get("REPRO_SHARD_WORKERS", "0"))
+    except ValueError:
+        want = 0
+    if want <= 0:
+        want = os.cpu_count() or 1
+    return max(1, want)
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to a segment without adopting cleanup responsibility.
+
+    Python < 3.13 auto-registers attached segments with the worker's
+    resource tracker, which would unlink main-process segments (and
+    print warnings) when a worker exits; ``track=False`` (3.13+) or an
+    explicit unregister keeps ownership with the creating process.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        shm = shared_memory.SharedMemory(name=name)
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:  # noqa: BLE001 - tracker quirks must not kill work
+            pass
+        return shm
+
+
+def _worker_entry() -> None:
+    """Subprocess entry point: dial the pool's socket and serve forever.
+
+    Workers are plain ``python -c`` subprocesses rather than
+    ``multiprocessing`` children because every mp start method re-runs
+    (spawn/forkserver) or unsafely clones (fork, with the serving
+    layer's threads) the parent's ``__main__``; a fresh interpreter that
+    just imports this module has neither problem.  The pool passes its
+    listener address through ``REPRO_SHARD_ADDR``.
+    """
+    conn = Client(os.environ["REPRO_SHARD_ADDR"], family="AF_UNIX")
+    _worker_main(conn)
+
+
+def _worker_main(conn) -> None:
+    """Worker loop: build row-slice engines once, serve ops over pipes."""
+    from repro.poly.basis_conv import BasisConverter
+    from repro.poly.batch_ntt import BatchNTT
+
+    engines: dict = {}
+    converters: dict = {}
+    while True:
+        try:
+            msg = conn.recv()
+        except _PIPE_EXC:
+            return
+        if msg[0] == "stop":
+            conn.close()
+            return
+        try:
+            if msg[0] == "ntt":
+                _, spec, op, name, length, n, lo, hi, checked = msg
+                primes, psis, _, method = spec
+                key = (spec, lo, hi)
+                eng = engines.get(key)
+                if eng is None:
+                    eng = BatchNTT(
+                        list(primes[lo:hi]),
+                        n,
+                        method,
+                        psis=list(psis[lo:hi]),
+                        backend="numpy",
+                    )
+                    engines[key] = eng
+                eng.set_checked(checked)
+                shm = _attach(name)
+                try:
+                    rows = np.ndarray(
+                        (length, n), np.uint64, buffer=shm.buf
+                    )[lo:hi]
+                    if op == "fwd":
+                        eng.forward(rows, out=rows)
+                    else:
+                        eng.inverse(rows, out=rows)
+                finally:
+                    shm.close()
+            elif msg[0] == "pw":
+                _, spec, name, part_names, part_dtypes, length, n, lo, hi = msg
+                primes, psis, _, method = spec
+                key = (spec, lo, hi)
+                eng = engines.get(key)
+                if eng is None:
+                    eng = BatchNTT(
+                        list(primes[lo:hi]),
+                        n,
+                        method,
+                        psis=list(psis[lo:hi]),
+                        backend="numpy",
+                    )
+                    engines[key] = eng
+                shms = [_attach(name)] + [_attach(p) for p in part_names]
+                try:
+                    rows = np.ndarray(
+                        (length, n), np.uint64, buffer=shms[0].buf
+                    )[lo:hi]
+                    parts = tuple(
+                        np.ndarray((length, n), np.dtype(dt), buffer=s.buf)[
+                            lo:hi
+                        ]
+                        for s, dt in zip(shms[1:], part_dtypes)
+                    )
+                    rows[:] = eng.pointwise_prepared(rows, parts)
+                finally:
+                    for s in shms:
+                        s.close()
+            elif msg[0] == "conv":
+                _, spec, xname, vname, oname, lo, hi = msg
+                src, dst, n = spec
+                key = (spec, lo, hi)
+                conv = converters.get(key)
+                if conv is None:
+                    conv = BasisConverter(
+                        list(src),
+                        list(dst[lo:hi]),
+                        n,
+                        checked=False,
+                        backend="numpy",
+                    )
+                    converters[key] = conv
+                sx, sv, so = _attach(xname), _attach(vname), _attach(oname)
+                try:
+                    x_hat = np.ndarray((len(src), n), np.uint64, buffer=sx.buf)
+                    v_row = np.ndarray((1, n), np.uint64, buffer=sv.buf)
+                    out = np.ndarray(
+                        (len(dst), n), np.uint64, buffer=so.buf
+                    )[lo:hi]
+                    conv._convert_core(x_hat, v_row, out)
+                finally:
+                    sx.close()
+                    sv.close()
+                    so.close()
+            else:
+                raise ParameterError(f"unknown shard op {msg[0]!r}")
+            conn.send(("ok",))
+        except Exception as exc:  # noqa: BLE001 - marshalled to the caller
+            try:
+                conn.send(("err", type(exc).__name__, str(exc)))
+            except _PIPE_EXC:
+                return
+
+
+class _Pool:
+    """The per-process worker pool plus its shared-memory segments."""
+
+    def __init__(self, workers: int) -> None:
+        self.procs: list[subprocess.Popen] = []
+        self.conns = []
+        self.segments: dict[str, shared_memory.SharedMemory] = {}
+        self._gen = 0
+        # Rendezvous socket in a fresh 0700 tempdir (user-only access).
+        self._tmpdir = tempfile.mkdtemp(prefix="repro_shard_")
+        self._listener = Listener(
+            address=os.path.join(self._tmpdir, "sock"), family="AF_UNIX"
+        )
+        # Workers must be able to `import repro` even when the parent got
+        # it via sys.path manipulation (the benchmark runner does), so
+        # pin the package root into their PYTHONPATH; strip REPRO_BACKEND
+        # so worker-side engines never recurse into the sharded tier.
+        import repro
+
+        root = str(Path(repro.__file__).parents[1])
+        env = dict(os.environ)
+        env["REPRO_SHARD_ADDR"] = self._listener.address
+        env.pop("REPRO_BACKEND", None)
+        pp = env.get("PYTHONPATH")
+        if root not in (pp.split(os.pathsep) if pp else []):
+            env["PYTHONPATH"] = root + (os.pathsep + pp if pp else "")
+        try:
+            # Bound the wait for workers to dial in: a worker that dies
+            # at import time must fail pool construction, not hang it.
+            self._listener._listener._socket.settimeout(60.0)
+        except AttributeError:  # pragma: no cover - stdlib internals moved
+            pass
+        cmd = [
+            sys.executable,
+            "-c",
+            "from repro.poly.backends.sharded import _worker_entry; "
+            "_worker_entry()",
+        ]
+        try:
+            for _ in range(workers):
+                self.procs.append(subprocess.Popen(cmd, env=env))
+            self.conns = [self._listener.accept() for _ in range(workers)]
+        except Exception:
+            _teardown(self)
+            raise
+
+    # -- segments ----------------------------------------------------------
+    def segment(self, tag: str, nbytes: int) -> shared_memory.SharedMemory:
+        """A named segment of >= ``nbytes``, grown (never shrunk) on demand."""
+        shm = self.segments.get(tag)
+        if shm is not None and shm.size >= nbytes:
+            return shm
+        if shm is not None:
+            shm.close()
+            shm.unlink()
+        self._gen += 1
+        name = f"repro_shard_{os.getpid()}_{tag}_{self._gen}"
+        shm = shared_memory.SharedMemory(name=name, create=True, size=nbytes)
+        self.segments[tag] = shm
+        return shm
+
+    # -- fan-out -----------------------------------------------------------
+    def _scatter(self, tasks) -> None:
+        """Send one message per (conn, payload), gather replies, map errors.
+
+        Any pipe failure means a worker died mid-operation: the pool is
+        torn down (latched — see :func:`close_pool`) and the caller gets
+        :class:`ShardCrashError`; library errors raised inside a worker
+        re-raise as their own types.
+        """
+        global _CRASHED
+        live = []
+        try:
+            for conn, payload in tasks:
+                conn.send(payload)
+                live.append(conn)
+            replies = [conn.recv() for conn in live]
+        except _PIPE_EXC as exc:
+            _CRASHED = True
+            _teardown(self)
+            raise ShardCrashError(
+                f"sharded backend worker died mid-operation ({exc!r}); "
+                "subsequent calls fall back to the numpy tier"
+            ) from exc
+        failure = next((r for r in replies if r[0] != "ok"), None)
+        if failure is not None:
+            _, name, text = failure
+            exc_type = _ERROR_TYPES.get(name)
+            if exc_type is not None:
+                raise exc_type(text)
+            raise ShardCrashError(f"sharded worker failed: {name}: {text}")
+
+    def _ranges(self, num_rows: int):
+        """Contiguous row ranges, one per participating worker."""
+        k = min(len(self.conns), num_rows)
+        bounds = np.linspace(0, num_rows, k + 1, dtype=int)
+        return [
+            (self.conns[i], int(bounds[i]), int(bounds[i + 1]))
+            for i in range(k)
+            if bounds[i] < bounds[i + 1]
+        ]
+
+    # -- ops ---------------------------------------------------------------
+    def ntt(self, engine, op: str, a, out):
+        length, n = len(engine.primes), engine.n
+        a = np.asarray(a, dtype=np.uint64)
+        q_col = np.array(engine.primes, dtype=np.uint64).reshape(-1, 1)
+        if a.size and np.any(a >= q_col):
+            raise _range_error(a, q_col)
+        shm = self.segment("ntt", length * n * 8)
+        buf = np.ndarray((length, n), np.uint64, buffer=shm.buf)
+        np.copyto(buf, a)
+        spec = (
+            tuple(engine.primes), tuple(engine.psis), n, engine.method,
+        )
+        checked = bool(engine._kernel.checked)
+        self._scatter(
+            [
+                (conn, ("ntt", spec, op, shm.name, length, n, lo, hi, checked))
+                for conn, lo, hi in self._ranges(length)
+            ]
+        )
+        if out is None:
+            return buf.copy()
+        np.copyto(out, buf, casting="unsafe")
+        return out
+
+    def pointwise(self, engine, a_hat, prepared):
+        length, n = len(engine.primes), engine.n
+        a_hat = np.asarray(a_hat, dtype=np.uint64)
+        shm = self.segment("pw", length * n * 8)
+        buf = np.ndarray((length, n), np.uint64, buffer=shm.buf)
+        np.copyto(buf, a_hat)
+        part_names, part_dtypes = [], []
+        for i, part in enumerate(prepared):
+            pseg = self.segment(f"pw_part{i}", length * n * 8)
+            np.copyto(
+                np.ndarray((length, n), part.dtype, buffer=pseg.buf), part
+            )
+            part_names.append(pseg.name)
+            part_dtypes.append(part.dtype.str)
+        spec = (
+            tuple(engine.primes), tuple(engine.psis), n, engine.method,
+        )
+        self._scatter(
+            [
+                (
+                    conn,
+                    (
+                        "pw", spec, shm.name, tuple(part_names),
+                        tuple(part_dtypes), length, n, lo, hi,
+                    ),
+                )
+                for conn, lo, hi in self._ranges(length)
+            ]
+        )
+        return buf.copy()
+
+    def convert(self, converter, x_hat, v_row, out):
+        l_in, l_out, n = len(converter.src), len(converter.dst), converter.n
+        sx = self.segment("conv_x", l_in * n * 8)
+        sv = self.segment("conv_v", n * 8)
+        so = self.segment("conv_o", l_out * n * 8)
+        np.copyto(np.ndarray((l_in, n), np.uint64, buffer=sx.buf), x_hat)
+        np.copyto(np.ndarray((1, n), np.uint64, buffer=sv.buf), v_row)
+        spec = (tuple(converter.src), tuple(converter.dst), n)
+        self._scatter(
+            [
+                (conn, ("conv", spec, sx.name, sv.name, so.name, lo, hi))
+                for conn, lo, hi in self._ranges(l_out)
+            ]
+        )
+        np.copyto(out, np.ndarray((l_out, n), np.uint64, buffer=so.buf))
+        return out
+
+
+def _teardown(pool: _Pool) -> None:
+    """Stop workers, release every segment, remove the rendezvous socket."""
+    global _POOL
+    for conn in pool.conns:
+        try:
+            conn.send(("stop",))
+        except _PIPE_EXC:
+            pass
+        try:
+            conn.close()
+        except OSError:
+            pass
+    for proc in pool.procs:
+        try:
+            proc.wait(timeout=2.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=2.0)
+    for shm in pool.segments.values():
+        try:
+            shm.close()
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+    pool.conns.clear()
+    pool.procs.clear()
+    pool.segments.clear()
+    try:
+        pool._listener.close()
+    except OSError:  # pragma: no cover - already gone
+        pass
+    shutil.rmtree(pool._tmpdir, ignore_errors=True)
+    if _POOL is pool:
+        _POOL = None
+
+
+def close_pool() -> None:
+    """Deterministically release the pool and its segments (idempotent).
+
+    After a *clean* close, the next sharded-tier call may build a fresh
+    pool; after a crash (:class:`ShardCrashError`) the tier stays down
+    for the life of the process and calls degrade to numpy.
+    """
+    pool = _POOL
+    if pool is not None:
+        _teardown(pool)
+
+
+atexit.register(close_pool)
+
+
+def get_pool() -> _Pool | None:
+    """The lazily built worker pool; ``None`` when the tier is down.
+
+    A pool that cannot even start (worker import failure, no sockets)
+    latches the tier down with one :class:`BackendFallbackWarning` —
+    graceful degradation, matching the compiled tier's no-toolchain path.
+    """
+    global _POOL, _CRASHED
+    if _CRASHED:
+        return None
+    if _POOL is None:
+        try:
+            _POOL = _Pool(_num_workers())
+        except Exception as exc:  # noqa: BLE001 - degrade, don't error
+            _CRASHED = True
+            warnings.warn(
+                f"sharded backend unavailable ({exc}); "
+                "falling back to the numpy reference tier",
+                BackendFallbackWarning,
+                stacklevel=4,
+            )
+            return None
+    return _POOL
+
+
+class ShardedNtt:
+    """Sharded-tier implementation bound to one :class:`BatchNTT`."""
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+
+    def _pool(self):
+        if len(self.engine.primes) * self.engine.n < shard_min_elements():
+            return None
+        return get_pool()
+
+    def forward(self, a, out=None):
+        pool = self._pool()
+        return None if pool is None else pool.ntt(self.engine, "fwd", a, out)
+
+    def inverse(self, a_hat, out=None):
+        pool = self._pool()
+        return None if pool is None else pool.ntt(self.engine, "inv", a_hat, out)
+
+    def pointwise_prepared(self, a_hat, prepared):
+        pool = self._pool()
+        if pool is None:
+            return None
+        return pool.pointwise(self.engine, a_hat, prepared)
+
+
+class ShardedConvert:
+    """Sharded-tier CRT tensor pass bound to one :class:`BasisConverter`.
+
+    Output rows are partitioned across workers; each worker needs the
+    whole ``x_hat`` (the CRT product is all-to-all over input limbs) and
+    returns only its ``[lo, hi)`` rows.  Declines under checked mode so
+    the main-process accumulator instrumentation stays engaged.
+    """
+
+    def __init__(self, converter) -> None:
+        self.converter = converter
+
+    def convert_core(self, x_hat, v_row, out):
+        conv = self.converter
+        if conv.checked:
+            return None
+        if len(conv.src) * conv.n < shard_min_elements():
+            return None
+        pool = get_pool()
+        if pool is None:
+            return None
+        return pool.convert(conv, x_hat, v_row, out)
+
+
+def make_sharded_ntt(engine):
+    return ShardedNtt(engine)
+
+
+def make_sharded_convert(converter):
+    return ShardedConvert(converter)

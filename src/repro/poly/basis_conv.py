@@ -55,6 +55,7 @@ import numpy as np
 
 from repro.analysis.sanitizer import assert_within, checked_mode
 from repro.errors import LayoutError, ParameterError
+from repro.poly.backends import make_convert_impl, resolve_backend
 from repro.poly.lazy import LazyAccumulator
 from repro.poly.ntt import _range_error
 from repro.rns.primes import digit_ranges
@@ -100,11 +101,18 @@ class BasisConverter:
         ring_degree: int,
         *,
         checked: bool | None = None,
+        backend: str | None = None,
     ) -> None:
         self.src = _as_ints(src_primes)
         self.dst = _as_ints(dst_primes)
         self.n = int(ring_degree)
         self.checked = checked_mode(checked)
+        #: dispatch tier for the CRT tensor pass (same semantics as
+        #: :class:`~repro.poly.batch_ntt.BatchNTT`'s ``backend``); the
+        #: scale step and the exact v-term always run in-process
+        self.backend_tier = resolve_backend(backend)
+        self._impl = None
+        self._impl_ready = False
         if not self.src or not self.dst:
             raise ParameterError("basis conversion needs non-empty bases")
         if len(set(self.src)) != len(self.src):
@@ -196,6 +204,11 @@ class BasisConverter:
         s1, s2 = self._workspace()[:2]
         if out is None:
             out = s1
+        scale_core = getattr(self._tier_impl(), "scale_core", None)
+        if scale_core is not None:
+            res = scale_core(np.ascontiguousarray(x, dtype=np.uint64), out)
+            if res is not None:
+                return res
         np.multiply(x, self._w_sh, out=s2)
         np.right_shift(s2, _SHIFT32, out=s2)  # hi = mulhi32(x, w')
         np.multiply(s2, self._q_src, out=s2)  # hi * q (low 64)
@@ -230,15 +243,22 @@ class BasisConverter:
             v_row[0, j] = exact // self.modulus
         return v_row
 
-    def convert(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-        """``(L_in, N)`` residues in the source basis -> ``(L_out, N)``.
+    def _tier_impl(self):
+        """The lazily built backend impl for the tensor pass, or ``None``."""
+        if not self._impl_ready:
+            self._impl_ready = True
+            self._impl = make_convert_impl(self, self.backend_tier)
+        return self._impl
 
-        Exact: output row ``j`` is ``X mod p_j`` for the canonical CRT
-        representative ``X in [0, Q)`` of ``x``.  When ``out`` is omitted
-        the result lands in (and is returned as) converter-owned scratch
-        overwritten by the next call.
+    def _convert_core(
+        self, x_hat: np.ndarray, v_row: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        """The numpy-tier tensor pass: cross products + v-term + fold.
+
+        Separated from :meth:`convert` as the dispatch seam — a backend
+        impl replaces exactly this (canonical ``x_hat`` and exact ``v``
+        in, canonical target residues out), never the scale/v steps.
         """
-        x_hat = self.scale(x)
         space = self._workspace()
         cross, work, sums = space[2:5]
         self.reducer.mulmod_cross(x_hat, self._m, self._m_sh, out=cross, work=work)
@@ -248,7 +268,6 @@ class BasisConverter:
         acc.accumulate_value(sums, self._row_bound)
         # v-correction term v * [-Q]_{p_j}, same Shoup chain in scratch
         # (sums is free again once accumulated above).
-        v_row = self._v_term(x_hat)
         t = space[10]
         q_dst = self.reducer.q
         np.multiply(v_row, self._corr_sh, out=t)
@@ -258,9 +277,27 @@ class BasisConverter:
         np.subtract(sums, t, out=sums)
         np.bitwise_and(sums, _U32, out=sums)  # in [0, 2q)
         acc.accumulate_value(sums, 2 * max(self.dst) - 1)
-        if out is None:
-            out = space[9]
         acc.fold_into(out)
+        return out
+
+    def convert(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """``(L_in, N)`` residues in the source basis -> ``(L_out, N)``.
+
+        Exact: output row ``j`` is ``X mod p_j`` for the canonical CRT
+        representative ``X in [0, Q)`` of ``x``.  When ``out`` is omitted
+        the result lands in (and is returned as) converter-owned scratch
+        overwritten by the next call.
+        """
+        x_hat = self.scale(x)
+        v_row = self._v_term(x_hat)
+        if out is None:
+            out = self._workspace()[9]
+        impl = self._tier_impl()
+        res = (
+            impl.convert_core(x_hat, v_row, out) if impl is not None else None
+        )
+        if res is None:
+            self._convert_core(x_hat, v_row, out)
         if self.checked:
             assert_within(
                 out, self.reducer.q - np.uint64(1),
@@ -287,6 +324,7 @@ class ModUp:
         ring_degree: int,
         *,
         checked: bool | None = None,
+        backend: str | None = None,
     ) -> None:
         ext = _as_ints(ext_primes)
         if not 0 <= lo < hi <= len(ext):
@@ -301,7 +339,8 @@ class ModUp:
         self.lo, self.hi = lo, hi
         self.num_ext = len(ext)
         self.converter = BasisConverter(
-            ext[lo:hi], ext[:lo] + ext[hi:], ring_degree, checked=checked
+            ext[lo:hi], ext[:lo] + ext[hi:], ring_degree,
+            checked=checked, backend=backend,
         )
 
     def apply(self, digit: np.ndarray, out: np.ndarray) -> np.ndarray:
@@ -334,13 +373,15 @@ class ModDown:
         ring_degree: int,
         *,
         checked: bool | None = None,
+        backend: str | None = None,
     ) -> None:
         self.base = _as_ints(base_primes)
         self.aux = _as_ints(aux_primes)
         self.n = int(ring_degree)
         self.checked = checked_mode(checked)
         self.converter = BasisConverter(
-            self.aux, self.base, ring_degree, checked=self.checked
+            self.aux, self.base, ring_degree,
+            checked=self.checked, backend=backend,
         )
         self.p_modulus = 1
         for p in self.aux:
@@ -582,11 +623,18 @@ class KeySwitcher:
         n = ctx.ring_degree
         ext_primes = self.ext_ctx.primes
         self.checked = bool(getattr(ctx, "checked", False))
+        self.backend = getattr(ctx, "backend", None)
         self.modups = [
-            ModUp(ext_primes, lo, hi, n, checked=self.checked)
+            ModUp(
+                ext_primes, lo, hi, n,
+                checked=self.checked, backend=self.backend,
+            )
             for lo, hi in self.digits
         ]
-        self.moddown = ModDown(ctx.primes, self.aux, n, checked=self.checked)
+        self.moddown = ModDown(
+            ctx.primes, self.aux, n,
+            checked=self.checked, backend=self.backend,
+        )
         #: window engine over the auxiliary rows only (shared tables)
         self.aux_batch = self.ext_ctx.batch_ntt.take_rows(num_base, self.num_ext)
         self.aux_batch.set_checked(self.checked)

@@ -60,6 +60,7 @@ import numpy as np
 from repro import hooks
 from repro.analysis.sanitizer import assert_within, checked_mode
 from repro.errors import ParameterError
+from repro.poly.backends import make_ntt_impl, resolve_backend
 from repro.poly.ntt import (
     _power_table,
     _range_error,
@@ -94,6 +95,11 @@ class BatchNTT:
             outputs); found via :func:`primitive_root_of_unity` when
             omitted — which picks the same root the per-prime engine picks,
             so the two paths agree either way.
+        backend: execution tier for the hot transforms — ``"numpy"`` /
+            ``"sharded"`` / ``"compiled"`` (:mod:`repro.poly.backends`).
+            ``None`` defers to ``REPRO_BACKEND``, then ``"numpy"``.  Every
+            tier is bit-identical; an unavailable tier degrades back to
+            the numpy kernels after one warning.
     """
 
     def __init__(
@@ -103,6 +109,7 @@ class BatchNTT:
         method: str = "smr",
         *,
         psis: Sequence[int] | None = None,
+        backend: str | None = None,
     ) -> None:
         primes = [int(q) for q in primes]
         if not primes:
@@ -131,6 +138,11 @@ class BatchNTT:
         self.log_n = n.bit_length() - 1
         self.method = method
         self.backend = make_ntt_backend(method, primes)
+        #: dispatch tier name; the impl object itself is built lazily so
+        #: engines that never transform (pure table donors) cost nothing
+        self.backend_tier = resolve_backend(backend)
+        self._impl = None
+        self._impl_ready = False
 
         brv = bit_reverse_permutation(n)
         fwd = np.stack([_power_table(psi, q, n)[brv] for psi, q in zip(psis, primes)])
@@ -160,6 +172,18 @@ class BatchNTT:
         an explicit ``checked=`` override onto shared/derived engines.
         """
         self._kernel.checked = bool(flag)
+
+    def _tier_impl(self):
+        """The lazily built backend impl for this engine (``None`` = numpy).
+
+        A tier that is unavailable (no toolchain, crashed pool) resolves
+        to ``None`` here or returns ``None`` per call — either way the
+        numpy kernels below take over, so callers never branch on tier.
+        """
+        if not self._impl_ready:
+            self._impl_ready = True
+            self._impl = make_ntt_impl(self, self.backend_tier)
+        return self._impl
 
     def take(self, num_limbs: int) -> BatchNTT:
         """A BatchNTT over the first ``num_limbs`` limbs, sharing tables.
@@ -213,7 +237,9 @@ class BatchNTT:
         power-table build — so the extended tables cost O(K·N) work for K
         new primes instead of O((L+K)·N).
         """
-        extra = BatchNTT(extra_primes, self.n, self.method, psis=psis)
+        extra = BatchNTT(
+            extra_primes, self.n, self.method, psis=psis, backend="numpy"
+        )
         overlap = set(self.primes) & set(extra.primes)
         if overlap:
             raise ParameterError(
@@ -236,6 +262,9 @@ class BatchNTT:
         clone.log_n = self.log_n
         clone.method = self.method
         clone.backend = make_ntt_backend(self.method, clone.primes)
+        clone.backend_tier = self.backend_tier
+        clone._impl = None
+        clone._impl_ready = False
         clone._fwd = fwd
         clone._inv = inv
         clone._n_inv = n_inv
@@ -263,6 +292,11 @@ class BatchNTT:
         """
         self._check_shape(a, "forward")
         hooks.emit("batch_ntt.forward")
+        impl = self._tier_impl()
+        if impl is not None:
+            res = impl.forward(a, out)
+            if res is not None:
+                return res
         return self._kernel.forward(a, out=out)
 
     def inverse(self, a_hat: np.ndarray, *, out: np.ndarray | None = None):
@@ -272,6 +306,11 @@ class BatchNTT:
         """
         self._check_shape(a_hat, "inverse")
         hooks.emit("batch_ntt.inverse")
+        impl = self._tier_impl()
+        if impl is not None:
+            res = impl.inverse(a_hat, out)
+            if res is not None:
+                return res
         return self._kernel.inverse(a_hat, out=out)
 
     # -- NTT-domain arithmetic ---------------------------------------------
@@ -291,6 +330,11 @@ class BatchNTT:
     ) -> np.ndarray:
         """Element-wise limb-matrix product against a prepared operand."""
         self._check_shape(a_hat, "pointwise")
+        impl = self._tier_impl()
+        if impl is not None:
+            res = impl.pointwise_prepared(a_hat, prepared)
+            if res is not None:
+                return res
         b = self.backend
         return b.exit(b.mul(b.enter(a_hat), prepared))
 

@@ -32,6 +32,7 @@ import numpy as np
 from repro import hooks
 from repro.analysis.sanitizer import assert_within, checked_mode
 from repro.errors import LayoutError, LevelError, ParameterError
+from repro.poly.backends import resolve_backend
 from repro.poly.batch_ntt import BatchNTT
 from repro.poly.cost import CostModel
 from repro.poly.lazy import LazyAccumulator
@@ -141,6 +142,7 @@ class PolyContext:
         method: str = "smr",
         *,
         checked: bool | None = None,
+        backend: str | None = None,
         _engines: list[NegacyclicNTT] | None = None,
         _batch: BatchNTT | None = None,
     ) -> None:
@@ -172,8 +174,23 @@ class PolyContext:
             ):
                 raise ParameterError("batch engine does not match limb primes")
             self.batch_ntt = _batch
+            # Child contexts inherit the donor engine's tier rather than
+            # re-reading the environment (an explicit override still wins
+            # and retargets the shared engine's dispatch).
+            if backend is not None:
+                tier = resolve_backend(backend)
+                if tier != _batch.backend_tier:
+                    _batch.backend_tier = tier
+                    _batch._impl = None
+                    _batch._impl_ready = False
+            #: execution tier for this context's hot kernels
+            #: (:mod:`repro.poly.backends`)
+            self.backend = _batch.backend_tier
         else:
-            self.batch_ntt = BatchNTT(self.primes, ring_degree, method)
+            self.backend = resolve_backend(backend)
+            self.batch_ntt = BatchNTT(
+                self.primes, ring_degree, method, backend=self.backend
+            )
         #: sanitizer mode (REPRO_CHECKED=1 or an explicit override): real
         #: kernels assert the statically certified bounds at runtime, and
         #: the Level-1 certificate is validated eagerly below
@@ -241,6 +258,7 @@ class PolyContext:
         num_main: int,
         method: str = "smr",
         checked: bool | None = None,
+        backend: str | None = None,
     ) -> PolyContext:
         """Context over a level's live limbs: terminals first, then mains."""
         return cls(
@@ -248,6 +266,7 @@ class PolyContext:
             pool.limb_primes(num_terminal, num_main),
             method,
             checked=checked,
+            backend=backend,
         )
 
     @property
@@ -348,7 +367,7 @@ class PolyContext:
         if kern is None:
             kern = ModUp(
                 ext.primes, 0, self.num_limbs, self.ring_degree,
-                checked=self.checked,
+                checked=self.checked, backend=self.backend,
             )
             self._basis_kernels[key] = kern
         return kern
@@ -364,7 +383,7 @@ class PolyContext:
         if kern is None:
             kern = ModDown(
                 base.primes, self.primes[-num_aux:], self.ring_degree,
-                checked=self.checked,
+                checked=self.checked, backend=self.backend,
             )
             self._basis_kernels[key] = kern
         return kern

@@ -120,8 +120,19 @@ class ServingConfig:
     record_batches: bool = True     #: keep batch_log for replay verification
     max_recorded_batches: int = 4096    #: batch_log ring-buffer bound
     max_latency_samples: int = 8192     #: latencies_s ring-buffer bound
+    #: execution tier the server expects of its context — ``None`` accepts
+    #: whatever the :class:`~repro.context.CkksContext` resolved (its own
+    #: ``backend`` arg > ``REPRO_BACKEND`` > numpy); naming a tier here
+    #: makes a context/config mismatch a construction-time error instead
+    #: of a silently slower (or faster, unvalidated) serving deployment
+    backend: str | None = None
 
     def __post_init__(self) -> None:
+        if self.backend is not None:
+            # normalize + reject unknown tiers up front (ParameterError)
+            from repro.poly.backends import resolve_backend
+
+            self.backend = resolve_backend(self.backend)
         s = self.max_batch_slots
         if s is not None and (s < 1 or s & (s - 1)):
             # sparse packings must divide N/2 (a power of two), so any
@@ -191,6 +202,17 @@ class CkksServer:
         self.cc = cc
         self.config = config or ServingConfig()
         self.injector = injector
+        #: execution tier every kernel under this server dispatches through
+        self.backend = getattr(cc, "backend", "numpy")
+        if (
+            self.config.backend is not None
+            and self.config.backend != self.backend
+        ):
+            raise ValueError(
+                f"config requires the {self.config.backend!r} backend but "
+                f"the context resolved {self.backend!r}; build the "
+                "CkksContext with backend=... to match"
+            )
         self._tenants: dict[str, _Tenant] = {}
         self._next_id = 0
         self._task: asyncio.Task | None = None

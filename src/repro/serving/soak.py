@@ -95,11 +95,19 @@ def make_builds(cc: CkksContext) -> dict:
 
 
 def build_server(
-    *, seed: int, rate: float, watchdog_s: float = 0.5, stall_s: float = 1.0
+    *, seed: int, rate: float, watchdog_s: float = 0.5, stall_s: float = 1.0,
+    backend: str | None = None,
 ) -> CkksServer:
-    """A soak-ready server: small ring, two tenants, armed injector."""
+    """A soak-ready server: small ring, two tenants, armed injector.
+
+    ``backend`` picks the kernel execution tier (numpy / sharded /
+    compiled) and is threaded through both the context (which dispatches
+    on it) and the config (which asserts the two agree), so a soak run
+    exercises the full serving path on that tier.
+    """
     cc = CkksContext(
-        ring_degree=256, num_main=4, num_aux=3, dnum=2, seed=seed
+        ring_degree=256, num_main=4, num_aux=3, dnum=2, seed=seed,
+        backend=backend,
     )
     injector = FaultInjector(seed, rate=rate, stall_s=stall_s)
     config = ServingConfig(
@@ -110,6 +118,7 @@ def build_server(
         max_attempts=4,
         breaker_cooldown_s=0.1,
         seed=seed,
+        backend=backend,
     )
     server = CkksServer(cc, config=config, injector=injector)
     builds = make_builds(cc)
@@ -152,9 +161,10 @@ def soak(
     rate: float = 0.05,
     spread_s: float = 2.0,
     timeout_s: float = 300.0,
+    backend: str | None = None,
 ) -> dict:
     """Run the full soak; return the report dict; raise on any violation."""
-    server = build_server(seed=seed, rate=rate)
+    server = build_server(seed=seed, rate=rate, backend=backend)
     admission_code = _check_admission(server)
     specs = draw_specs(
         tenants=sorted(TENANTS),
@@ -183,6 +193,7 @@ def soak(
         "requests": requests,
         "seed": seed,
         "fault_rate": rate,
+        "backend": server.backend,
         "delivered": report.delivered,
         "rejected": dict(report.rejected),
         "unstructured_failures": report.unstructured,
@@ -236,10 +247,14 @@ def main(argv=None) -> int:
                         help="outer deadlock bound in seconds")
     parser.add_argument("--json", type=str, default=None,
                         help="write the report dict to this path")
+    parser.add_argument("--backend", type=str, default=None,
+                        choices=("numpy", "sharded", "compiled"),
+                        help="kernel execution tier (default: REPRO_BACKEND "
+                             "or numpy)")
     args = parser.parse_args(argv)
     summary = soak(
         requests=args.requests, seed=args.seed, rate=args.rate,
-        spread_s=args.spread, timeout_s=args.timeout,
+        spread_s=args.spread, timeout_s=args.timeout, backend=args.backend,
     )
     if args.json:
         with open(args.json, "w") as fh:
