@@ -72,12 +72,12 @@ from repro.rns.primes import digit_ranges, ntt_friendly_primes  # noqa: E402
 from repro.scheme import (  # noqa: E402
     CanonicalEncoder,
     Ciphertext,
-    CircuitTracer,
     Evaluator,
     KeyGenerator,
-    SlotLinalg,
     galois_element,
 )
+from repro.scheme._circuit import CircuitTracer  # noqa: E402
+from repro.scheme._linalg import SlotLinalg  # noqa: E402
 from repro.serving import (  # noqa: E402
     CkksServer,
     ServingConfig,
@@ -376,7 +376,7 @@ def _bench_serving(
         seed=0,
         backend=backend,
     ))
-    server.register_tenant("affine", tenant, scale=scale)
+    server.register_tenant("affine", tenant, scale_bits=30)
     k = 32
     payloads = [round(float(v), 3) for v in np.linspace(-1.0, 1.0, k)]
 
@@ -427,6 +427,71 @@ def _bench_serving(
         "requests_per_s": round(k / med_b, 2),
     }]
 
+
+
+def _bench_ml(method: str, repeats: int) -> list[dict]:
+    """The ``ml_inference`` cell: compiled-once model vs per-query compile.
+
+    "batched" replays the model's single compiled :class:`CircuitPlan`
+    per encrypted row (hoists/fusion/encodings captured once at compile
+    time); "looped" re-traces and re-compiles the same model recipe for
+    every query before running it — the cost the single-entry API
+    amortizes away.  The rebuilt plan is asserted bit-identical to the
+    compiled one on a shared ciphertext before timing, and the encrypted
+    labels must agree with the plaintext twin's.
+    """
+    from repro.ml import agreement, load_iris_split, logistic_regression
+
+    cc = CkksContext(
+        ring_degree=256, num_main=10, num_aux=7, dnum=2, seed=0xC0FFEE,
+        method=method, rotations=(1, 2),
+    )
+    split = load_iris_split(seed=0)
+    y = (split.y_train == 2).astype(np.int64)
+    model = logistic_regression(cc, split.x_train, y, degree=3)
+    rows = split.x_test[:8]
+
+    def compiled_infer():
+        return model.predict_encrypted(rows)
+
+    def per_query_compile():
+        out = np.empty((rows.shape[0], model.dim))
+        for i, row in enumerate(rows):
+            tracer = cc._tracer()
+            plan = tracer.compile(
+                model.build(tracer, tracer.input("x", scale=model.scale))
+            )
+            ct = cc.encrypt(row, scale=model.scale, num_slots=model.dim)
+            out[i] = cc.decrypt(plan.run(ct), num_slots=model.dim).real
+        return out
+
+    ct = cc.encrypt(rows[0], scale=model.scale, num_slots=model.dim)
+    tracer = cc._tracer()
+    rebuilt = tracer.compile(
+        model.build(tracer, tracer.input("x", scale=model.scale))
+    )
+    a, b = model.plan.run(ct), rebuilt.run(ct)
+    assert np.array_equal(a.c0.limbs, b.c0.limbs), "rebuilt ml c0 differs"
+    assert np.array_equal(a.c1.limbs, b.c1.limbs), "rebuilt ml c1 differs"
+    enc = model.classify(compiled_infer())
+    plain = model.classify(model.predict_plain(rows))
+    assert agreement(enc, plain) >= 0.98, "ml cell fails the agreement gate"
+
+    best_b, med_b = _time(compiled_infer, repeats)
+    best_l, med_l = _time(per_query_compile, repeats)
+    return [{
+        "op": "ml_inference",
+        "batched_s": best_b,
+        "batched_med_s": med_b,
+        "looped_s": best_l,
+        "looped_med_s": med_l,
+        "n": 256,
+        "limbs": 11,
+        "method": method,
+        "speedup": round(best_l / best_b, 2),
+        "rows": int(rows.shape[0]),
+        "model": "logreg-deg3",
+    }]
 
 
 def _tier_available(tier: str) -> bool:
@@ -981,11 +1046,15 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated reducer subset (default: all four)",
     )
     parser.add_argument(
+        "--backend",
         "--backends",
+        dest="backends",
         type=str,
         default="numpy,compiled",
-        help="comma-separated execution tiers to bench; unavailable "
-        "tiers are skipped with a warning (default: numpy,compiled)",
+        help="comma-separated execution tiers to bench (canonical "
+        "spelling: --backend, matching the soak CLI and CkksContext); "
+        "unavailable tiers are skipped with a warning "
+        "(default: numpy,compiled)",
     )
     args = parser.parse_args(argv)
 
@@ -1028,6 +1097,11 @@ def main(argv: list[str] | None = None) -> int:
         for method in methods:
             if "numpy" in tiers:
                 cells = bench_config(n, num_limbs, method, repeats, rng)
+                # one encrypted-inference cell per method, attached to
+                # the smoke point so `--smoke --baseline` gates it too
+                # (its own context is deeper: N=256 with 11 limbs)
+                if (n, num_limbs) == (256, 4):
+                    cells.extend(_bench_ml(method, repeats))
                 results.extend(cells)
                 for cell in cells:
                     print(

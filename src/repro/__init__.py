@@ -5,11 +5,21 @@ Subpackages: :mod:`repro.rns` (primes, reducers, rescaling cycles),
 model), :mod:`repro.scheme` (RLWE keys, ciphertexts, the homomorphic
 evaluator and its composite cost model), :mod:`repro.analysis` (the
 static overflow / noise-budget analyzer and sanitizer-checked
-execution) and :mod:`repro.serving` (the fault-tolerant multi-tenant
-batch-serving layer).  See README.md for the architecture map.
+execution), :mod:`repro.serving` (the fault-tolerant multi-tenant
+batch-serving layer) and :mod:`repro.ml` (encrypted ML inference end to
+end).  See README.md for the architecture map.
+
+The stable public surface is this ``__all__``: build a
+:class:`CkksContext` and go through it (``cc.encrypt`` / ``cc.matvec`` /
+``cc.poly_eval`` / ``cc.compile`` / ``cc.model``); serve compiled plans
+with :class:`CkksServer`; check plans with :func:`check_plan`.
+Everything underscore-prefixed — and the old top-level homes of
+``SlotLinalg`` / ``CircuitTracer`` / ``KeySwitcher`` — is internal
+(the old names still import, with a deprecation warning naming the
+replacement, for one release).
 """
 
-from repro.errors import CheddarError
+from repro.errors import CheddarError, ModelPlanError
 from repro.plan import Plan
 
 __all__ = [
@@ -17,11 +27,13 @@ __all__ = [
     "CkksContext",
     "CkksServer",
     "FaultInjector",
+    "ModelPlanError",
     "Plan",
     "ServingConfig",
     "certify_kernels",
     "check_plan",
     "checked_mode",
+    "ml",
 ]
 __version__ = "0.1.0"
 
@@ -39,6 +51,10 @@ def __getattr__(name):
         from repro.context import CkksContext
 
         return CkksContext
+    if name == "ml":
+        import repro.ml as ml
+
+        return ml
     if name in _ANALYSIS:
         import repro.analysis as analysis
 

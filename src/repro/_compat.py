@@ -1,0 +1,29 @@
+"""One-release deprecation shims for the PR 10 public-API redesign.
+
+Internals that user programs used to import directly (``SlotLinalg``,
+``CircuitTracer``, ``KeySwitcher``, the old construction kwargs) keep
+working for one release through shims that call :func:`warn_once`: the
+first touch of each deprecated name emits a :class:`DeprecationWarning`
+naming its replacement, later touches are silent (a tight loop over a
+shimmed API must not spam hundreds of identical warnings).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+#: deprecated names already warned about this process (tests may clear)
+_warned: set[str] = set()
+
+
+def warn_once(old: str, replacement: str, *, stacklevel: int = 3) -> None:
+    """Emit one DeprecationWarning per deprecated name per process."""
+    if old in _warned:
+        return
+    _warned.add(old)
+    warnings.warn(
+        f"{old} is deprecated and will be removed in the next release; "
+        f"use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )

@@ -10,7 +10,7 @@ Two abstract-interpretation levels plus a runtime sanitizer:
   that proves uint32/uint64 non-overflow and the 2q-lazy invariant for a
   parameter family — or pinpoints the first violating op.
 * **Level 2 — plan checking** (:mod:`repro.analysis.plan_check`):
-  a static pass over traced :class:`~repro.scheme.circuit.CircuitPlan`
+  a static pass over traced :class:`~repro.scheme._circuit.CircuitPlan`
   DAGs propagating level/scale/noise-budget lattices per node; flags
   budget exhaustion and scale overflow as errors, and scale drift, dead
   Galois hoists, redundant NTT round trips and level-wasting rescale

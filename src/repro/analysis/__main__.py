@@ -71,11 +71,12 @@ def _bench_plans(n: int, method: str):
     """(name, plan) pairs mirroring the benchmark's compiled workloads."""
     import numpy as np
 
-    from repro.scheme import CircuitTracer, Evaluator, KeyGenerator
-    from repro.scheme.encoder import CanonicalEncoder
-    from repro.scheme.linalg import SlotLinalg
     from repro.poly.rns_poly import PolyContext
     from repro.rns.primes import PrimePool
+    from repro.scheme import Evaluator, KeyGenerator
+    from repro.scheme._circuit import CircuitTracer
+    from repro.scheme._linalg import SlotLinalg
+    from repro.scheme.encoder import CanonicalEncoder
 
     dim, dnum = 16, 2
     pool = PrimePool.generate(n, num_main=3, num_terminal=1, num_aux=4)

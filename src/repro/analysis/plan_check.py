@@ -1,6 +1,6 @@
 """Level-2 static checker: lattice propagation over compiled circuit plans.
 
-:func:`check_plan` walks a :class:`~repro.scheme.circuit.CircuitPlan`'s
+:func:`check_plan` walks a :class:`~repro.scheme._circuit.CircuitPlan`'s
 step list *without executing it*, propagating a per-register abstract
 state — live level, scale, and the heuristic ``log2 |noise|`` estimate —
 using the **same float formulas, in the same order**, as the plan
@@ -529,7 +529,7 @@ def check_plan(plan, *, drift_warn_bits: float = 2.0) -> PlanReport:
     is sugar for this function.
 
     Args:
-        plan: a compiled :class:`~repro.scheme.circuit.CircuitPlan`.
+        plan: a compiled :class:`~repro.scheme._circuit.CircuitPlan`.
         drift_warn_bits: tolerated distance (bits) between a rescale
             chain's landing scale and the plan's working scale before a
             ``scale-drift`` warning fires.

@@ -20,6 +20,23 @@ class ParameterError(CheddarError):
     """
 
 
+class ModelPlanError(ParameterError):
+    """An encrypted-model layer cannot be deployed on these parameters.
+
+    Raised *statically* by the :class:`repro.ml.LevelPlanner` — before
+    any ciphertext exists — when a layer's depth or scale requirement
+    does not fit the modulus chain.  Mirrors the
+    ``PolyContext.mismatch_reason`` convention: the message names the
+    offending ``layer`` and the failing budget (levels or bits, needed
+    vs available), and the layer name also rides along as an attribute
+    for programmatic handling.
+    """
+
+    def __init__(self, message: str, *, layer: str | None = None) -> None:
+        super().__init__(message)
+        self.layer = layer
+
+
 class PrimeSearchError(CheddarError):
     """Prime generation could not find enough NTT-friendly primes."""
 
@@ -111,7 +128,7 @@ class PlanExecutionError(CheddarError):
     """A compiled-plan step failed during replay; names the step.
 
     Wraps the underlying kernel/evaluator error so a failure deep inside
-    :meth:`~repro.scheme.circuit.CircuitPlan.run` surfaces with plan
+    :meth:`~repro.scheme._circuit.CircuitPlan.run` surfaces with plan
     context instead of a bare kernel message: ``step_index`` into the
     step list, the trace-node provenance ``label`` (``"n<id>:<op>"``),
     and the caller-supplied ``tag`` (the serving layer passes its
@@ -163,7 +180,7 @@ class AdmissionError(ServingError):
     """A tenant circuit was rejected at registration.
 
     Raised before any request is accepted: the circuit failed to trace,
-    failed :meth:`~repro.scheme.circuit.CircuitPlan.analyze` (budget
+    failed :meth:`~repro.scheme._circuit.CircuitPlan.analyze` (budget
     exhaustion, scale mismatch, key-level mismatch, ...), or the tenant
     name is unknown/duplicate.  The ``code`` distinguishes the cases.
     """

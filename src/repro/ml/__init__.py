@@ -1,0 +1,54 @@
+"""Encrypted ML inference end to end (see ISSUE PR 10 / ROADMAP item 4).
+
+Chebyshev-approximated activations lowered onto ``poly_eval`` scale
+stacking, dense layers as BSGS matvecs, and a noise-budget-aware
+:class:`LevelPlanner` that places every rescale automatically — the
+model path contains none — and statically rejects undeployable
+depth/scale combinations with a layer-named
+:class:`~repro.errors.ModelPlanError`.
+
+Entry points: :func:`logistic_regression` / :func:`mlp` train-and-
+compile a model against a :class:`~repro.context.CkksContext`;
+:func:`run_e2e` produces the agreement-gated accuracy-vs-depth
+artifact (also ``python -m repro.ml``).
+"""
+
+from repro.errors import ModelPlanError
+from repro.ml.chebyshev import ACTIVATIONS, ChebyshevFit, fit_activation
+from repro.ml.data import IrisSplit, load_iris, load_iris_split
+from repro.ml.e2e import AGREEMENT_THRESHOLD, run_e2e, write_artifact
+from repro.ml.model import (
+    CompiledModel,
+    DenseLayer,
+    accuracy,
+    agreement,
+    compile_model,
+    logistic_regression,
+    mlp,
+    train_logreg,
+    train_mlp,
+)
+from repro.ml.planner import LevelPlanner
+
+__all__ = [
+    "ACTIVATIONS",
+    "AGREEMENT_THRESHOLD",
+    "ChebyshevFit",
+    "CompiledModel",
+    "DenseLayer",
+    "IrisSplit",
+    "LevelPlanner",
+    "ModelPlanError",
+    "accuracy",
+    "agreement",
+    "compile_model",
+    "fit_activation",
+    "load_iris",
+    "load_iris_split",
+    "logistic_regression",
+    "mlp",
+    "run_e2e",
+    "train_logreg",
+    "train_mlp",
+    "write_artifact",
+]

@@ -1,0 +1,125 @@
+"""Chebyshev approximation of activations for encrypted inference.
+
+CKKS evaluates polynomials, not branches, so the nonlinearities of a
+model are replaced by low-degree polynomial approximations before
+compilation.  :func:`fit_activation` interpolates an activation at the
+Chebyshev nodes of the fit interval — the near-minimax choice, with
+error within a log factor of the best degree-``d`` polynomial — and
+returns monomial coefficients ready for
+``SlotLinalg.poly_eval``'s scale-stacking schedule, together with the
+*measured* max deviation over a dense grid (reported in the e2e
+artifact, and property-tested against a numpy reference).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    # Split by sign to avoid overflow in exp for large |x|.
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+#: activations the fitter knows; each maps an ndarray to an ndarray
+ACTIVATIONS: dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "sigmoid": _sigmoid,
+    "relu": _relu,
+}
+
+
+@dataclass(frozen=True)
+class ChebyshevFit:
+    """A fitted polynomial activation.
+
+    ``coeffs`` are monomial coefficients in ascending degree — exactly
+    what ``poly_eval`` consumes.  ``max_error`` is the measured
+    max-absolute deviation from the true activation over a dense grid on
+    ``interval`` (not a bound: a measurement, recorded so accuracy-vs-
+    depth artifacts can attribute accuracy loss to the approximation).
+    """
+
+    name: str
+    degree: int
+    interval: tuple[float, float]
+    coeffs: tuple[float, ...]
+    max_error: float
+    _fn: Callable[[np.ndarray], np.ndarray] = field(repr=False, compare=False)
+
+    def __call__(self, x) -> np.ndarray:
+        """Evaluate the *polynomial* (the encrypted-side semantics)."""
+        x = np.asarray(x, dtype=np.float64)
+        acc = np.zeros_like(x)
+        for c in reversed(self.coeffs):  # Horner, ascending storage
+            acc = acc * x + c
+        return acc
+
+    def reference(self, x) -> np.ndarray:
+        """Evaluate the exact activation (the plaintext-side oracle)."""
+        return self._fn(np.asarray(x, dtype=np.float64))
+
+
+def fit_activation(
+    name: str,
+    degree: int,
+    *,
+    interval: tuple[float, float] = (-6.0, 6.0),
+    grid: int = 4001,
+) -> ChebyshevFit:
+    """Fit ``name`` with a degree-``degree`` Chebyshev interpolant.
+
+    The polynomial interpolates the activation at the ``degree + 1``
+    Chebyshev nodes of ``interval`` (the roots of ``T_{d+1}`` mapped onto
+    the interval), then the coefficients are converted to the monomial
+    basis in the *unscaled* variable so ``poly_eval`` can consume them
+    directly.  Raises :class:`ParameterError` for unknown activations,
+    degenerate intervals, or degrees too high for stable monomial
+    conversion.
+    """
+    fn = ACTIVATIONS.get(name)
+    if fn is None:
+        raise ParameterError(
+            f"unknown activation {name!r}; known: {sorted(ACTIVATIONS)}"
+        )
+    if degree < 1:
+        raise ParameterError(f"activation degree must be >= 1, got {degree}")
+    if degree > 24:
+        raise ParameterError(
+            f"activation degree {degree} too high: monomial-basis "
+            "conversion loses float64 accuracy beyond ~24"
+        )
+    a, b = float(interval[0]), float(interval[1])
+    if not (math.isfinite(a) and math.isfinite(b)) or not a < b:
+        raise ParameterError(f"fit interval must satisfy a < b, got {interval}")
+    k = np.arange(degree + 1)
+    nodes = np.cos((2 * k + 1) * np.pi / (2 * (degree + 1)))
+    x_nodes = 0.5 * (b - a) * nodes + 0.5 * (a + b)
+    coeffs = np.polynomial.polynomial.polyfit(x_nodes, fn(x_nodes), degree)
+    xs = np.linspace(a, b, grid)
+    approx = np.zeros_like(xs)
+    for c in coeffs[::-1]:
+        approx = approx * xs + c
+    max_error = float(np.max(np.abs(approx - fn(xs))))
+    return ChebyshevFit(
+        name=name,
+        degree=degree,
+        interval=(a, b),
+        coeffs=tuple(float(c) for c in coeffs),
+        max_error=max_error,
+        _fn=fn,
+    )

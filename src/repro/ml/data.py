@@ -1,0 +1,79 @@
+"""Bundled real dataset for the encrypted-inference end-to-end tests.
+
+Fisher's iris measurements (150 samples, 4 features, 3 species) ship
+with the package as ``data/iris.csv`` so the e2e agreement tests touch
+no network: :func:`load_iris` reads the file, :func:`load_iris_split`
+adds the deterministic shuffled train/test split and per-feature
+standardization (train statistics only — the test split sees the train
+split's mean/std, never its own).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+_IRIS_CSV = Path(__file__).resolve().parent / "data" / "iris.csv"
+
+#: feature columns, in csv order
+FEATURE_NAMES = (
+    "sepal_length", "sepal_width", "petal_length", "petal_width",
+)
+
+#: species encoding used in the csv's last column
+SPECIES = ("setosa", "versicolor", "virginica")
+
+
+def load_iris() -> tuple[np.ndarray, np.ndarray]:
+    """The raw bundled dataset: ``(X, y)`` with shapes (150, 4), (150,)."""
+    raw = np.genfromtxt(_IRIS_CSV, delimiter=",", skip_header=1)
+    if raw.ndim != 2 or raw.shape[1] != 5 or np.isnan(raw).any():
+        raise ParameterError(
+            f"bundled iris data at {_IRIS_CSV} is malformed "
+            f"(shape {raw.shape})"
+        )
+    return raw[:, :4], raw[:, 4].astype(np.int64)
+
+
+@dataclass(frozen=True)
+class IrisSplit:
+    """A standardized train/test split of the bundled iris data."""
+
+    x_train: np.ndarray
+    y_train: np.ndarray
+    x_test: np.ndarray
+    y_test: np.ndarray
+    mean: np.ndarray    #: per-feature train mean (standardization origin)
+    std: np.ndarray     #: per-feature train std (standardization unit)
+
+    @property
+    def dim(self) -> int:
+        return self.x_train.shape[1]
+
+
+def load_iris_split(*, seed: int = 0, test_fraction: float = 1 / 3) -> IrisSplit:
+    """Deterministic shuffled split, standardized by train statistics."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ParameterError(
+            f"test_fraction must be in (0, 1), got {test_fraction}"
+        )
+    features, labels = load_iris()
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(labels.size)
+    n_test = round(labels.size * test_fraction)
+    test_idx, train_idx = perm[:n_test], perm[n_test:]
+    mean = features[train_idx].mean(axis=0)
+    std = features[train_idx].std(axis=0)
+    scaled = (features - mean) / std
+    return IrisSplit(
+        x_train=scaled[train_idx],
+        y_train=labels[train_idx],
+        x_test=scaled[test_idx],
+        y_test=labels[test_idx],
+        mean=mean,
+        std=std,
+    )

@@ -1,0 +1,122 @@
+"""End-to-end encrypted inference: agreement gate + depth-sweep artifact.
+
+:func:`run_e2e` trains the two bundled models (binary logistic
+regression on *virginica vs rest*, and a 3-class one-hidden-layer MLP)
+on the bundled iris split, compiles each at a sweep of activation
+degrees — each degree changes the ``poly_eval`` scale stack and hence
+the number of levels the planner must place — and evaluates the
+held-out test split both ways: encrypted (encrypt, run the compiled
+plan, decrypt) and plain (the numpy twin of the *same* polynomial
+network).  Per cell it records fit error, both accuracies, the
+encrypted-vs-plain **agreement** (the gated metric: the two twins
+differ only by encryption noise, so agreement below the threshold means
+the cryptography drifted), and the level budget the planner spent — the
+accuracy-vs-depth curve of the JSON artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.context import CkksContext
+from repro.ml.data import load_iris_split
+from repro.ml.model import agreement, logistic_regression, mlp
+
+__all__ = ["AGREEMENT_THRESHOLD", "run_e2e", "write_artifact"]
+
+#: minimum encrypted-vs-plain label agreement per (model, degree, backend)
+AGREEMENT_THRESHOLD = 0.98
+
+#: default activation-degree sweeps (the depth axis of the artifact)
+LOGREG_DEGREES = (3, 5, 7)
+MLP_DEGREES = (2, 3, 4)
+
+#: context parameters every cell runs under — deep enough for the
+#: degree-7 sigmoid's 9-term scale stack plus the planner's rescales
+CONTEXT_KWARGS = dict(
+    ring_degree=256, num_main=10, num_aux=7, dnum=2, rotations=(1, 2)
+)
+
+
+def _build_context(backend: str | None, seed: int) -> CkksContext:
+    return CkksContext(seed=seed, backend=backend, **CONTEXT_KWARGS)
+
+
+def _evaluate(model, x_test, y_test) -> dict:
+    enc_scores = model.predict_encrypted(x_test)
+    plain_scores = model.predict_plain(x_test)
+    enc_labels = model.classify(enc_scores)
+    plain_labels = model.classify(plain_scores)
+    fits = [
+        layer.activation for layer in model.layers
+        if layer.activation is not None
+    ]
+    return {
+        "degree": max(f.degree for f in fits),
+        "fit_max_error": max(f.max_error for f in fits),
+        "slot_max_abs_error": float(
+            np.max(np.abs(enc_scores - plain_scores))
+        ),
+        "agreement": agreement(enc_labels, plain_labels),
+        "encrypted_accuracy": agreement(enc_labels, y_test),
+        "plain_accuracy": agreement(plain_labels, y_test),
+        "levels_consumed": model.levels_consumed,
+        "output_level": model.output_level,
+        "planner_rescales": model.placed_rescales,
+        "plan_steps": model.plan.num_steps,
+    }
+
+
+def run_e2e(
+    *,
+    backends=("numpy",),
+    logreg_degrees=LOGREG_DEGREES,
+    mlp_degrees=MLP_DEGREES,
+    seed: int = 0,
+    n_test: int | None = None,
+    threshold: float = AGREEMENT_THRESHOLD,
+) -> dict:
+    """Run the full sweep; returns the artifact dict (never raises on
+    a failed gate — ``result["passed"]`` carries the verdict)."""
+    split = load_iris_split(seed=seed)
+    x_test, y_test = split.x_test, split.y_test
+    if n_test is not None:
+        x_test, y_test = x_test[:n_test], y_test[:n_test]
+    y_binary_train = (split.y_train == 2).astype(np.int64)
+    y_binary_test = (y_test == 2).astype(np.int64)
+
+    results = []
+    for backend in backends:
+        cc = _build_context(backend, seed)
+        resolved = cc.backend  # requested tier may have fallen back
+        for degree in logreg_degrees:
+            model = logistic_regression(
+                cc, split.x_train, y_binary_train, degree=degree
+            )
+            cell = _evaluate(model, x_test, y_binary_test)
+            cell.update(model="logreg", activation="sigmoid",
+                        backend=resolved, requested_backend=backend or "numpy")
+            results.append(cell)
+        for degree in mlp_degrees:
+            model = mlp(cc, split.x_train, split.y_train, degree=degree)
+            cell = _evaluate(model, x_test, y_test)
+            cell.update(model="mlp", activation="relu",
+                        backend=resolved, requested_backend=backend or "numpy")
+            results.append(cell)
+
+    return {
+        "dataset": "iris",
+        "n_train": int(split.y_train.size),
+        "n_test": int(y_test.size),
+        "seed": seed,
+        "agreement_threshold": threshold,
+        "results": results,
+        "passed": all(r["agreement"] >= threshold for r in results),
+    }
+
+
+def write_artifact(report: dict, path) -> None:
+    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")

@@ -1,0 +1,374 @@
+"""Encrypted models: dense layers compiled to one CircuitPlan.
+
+A model here is a short stack of :class:`DenseLayer` — a square weight
+matrix (BSGS diagonal matvec), a bias vector, and an optional
+:class:`~repro.ml.chebyshev.ChebyshevFit` activation (``poly_eval``
+scale stacking).  :func:`compile_model` traces the stack through one
+:class:`~repro.scheme._circuit.CircuitTracer`, with **every rescale
+placed by the** :class:`~repro.ml.planner.LevelPlanner` — the model
+path contains zero hand-placed rescales — and compiles it to a single
+:class:`~repro.scheme._circuit.CircuitPlan` that inherits the planner's
+hoisting / MAC fusion / NTT persistence and runs on every backend.
+
+The plaintext reference (:meth:`CompiledModel.predict_plain`) evaluates
+the *same* polynomial network in numpy — polynomial activations, padded
+weights and all — so encrypted-vs-plain disagreement measures only
+encryption noise, never the approximation.  Training
+(:func:`train_logreg`, :func:`train_mlp`) is plain numpy gradient
+descent; the MLP trains *through* its polynomial activation (backprop
+uses the exact polynomial derivative), so the deployed network is the
+trained one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.ml.chebyshev import ChebyshevFit, fit_activation
+from repro.ml.planner import LevelPlanner
+from repro.scheme._circuit import CircuitTracer
+from repro.scheme._linalg import SlotLinalg
+
+__all__ = [
+    "CompiledModel",
+    "DenseLayer",
+    "compile_model",
+    "logistic_regression",
+    "mlp",
+    "train_logreg",
+    "train_mlp",
+]
+
+
+@dataclass(frozen=True)
+class DenseLayer:
+    """One dense layer: ``act(W @ x + b)`` over the slot vector."""
+
+    name: str
+    weight: np.ndarray          #: (dim, dim) real matrix
+    bias: np.ndarray            #: (dim,) real vector
+    activation: ChebyshevFit | None = None
+
+    def __post_init__(self) -> None:
+        w = np.asarray(self.weight, dtype=np.float64)
+        b = np.asarray(self.bias, dtype=np.float64).ravel()
+        if w.ndim != 2 or w.shape[0] != w.shape[1]:
+            raise ParameterError(
+                f"layer {self.name!r} needs a square weight matrix, "
+                f"got shape {w.shape}"
+            )
+        if b.shape != (w.shape[0],):
+            raise ParameterError(
+                f"layer {self.name!r} bias shape {b.shape} does not match "
+                f"weight dim {w.shape[0]}"
+            )
+        object.__setattr__(self, "weight", w)
+        object.__setattr__(self, "bias", b)
+
+    @property
+    def dim(self) -> int:
+        return self.weight.shape[0]
+
+
+def _trace_layers(linalg: SlotLinalg, planner: LevelPlanner, layers, x):
+    """Trace the layer stack; the planner owns every rescale."""
+    h = x
+    for layer in layers:
+        with planner.layer(layer.name):
+            h = linalg.matvec_naive(h, layer.weight)
+            h = planner.normalize(h)
+            h = linalg.add_vector(h, layer.bias)
+            if layer.activation is not None:
+                planner.require_budget(h, layer.activation.coeffs)
+                h = linalg.poly_eval(h, layer.activation.coeffs)
+                h = planner.normalize(h)
+    return h
+
+
+class CompiledModel:
+    """A dense stack compiled to one plan, plus its plain twin.
+
+    Built by :func:`compile_model`; bound to the
+    :class:`~repro.context.CkksContext` it compiled under (the plan's
+    key switches and encodings live in that context's backend).
+    """
+
+    def __init__(self, cc, layers, plan, report, *, scale_bits,
+                 placed_rescales, output_level, kind, n_classes):
+        self.cc = cc
+        self.layers = tuple(layers)
+        self.plan = plan
+        self.report = report
+        self.scale_bits = int(scale_bits)
+        self.scale = 2.0 ** self.scale_bits
+        self.dim = layers[0].dim
+        #: rescales the planner placed (the model path placed none)
+        self.placed_rescales = int(placed_rescales)
+        self.input_level = cc.poly_ctx.num_limbs
+        self.output_level = int(output_level)
+        self.kind = kind
+        self.n_classes = int(n_classes)
+
+    @property
+    def levels_consumed(self) -> int:
+        return self.input_level - self.output_level
+
+    # -- serving recipe -----------------------------------------------------
+    def build(self, tracer, x):
+        """``build(tracer, x)`` recipe for ``CkksServer.register_tenant``.
+
+        Deterministic and self-contained: a fresh planner re-places the
+        rescales, the layer constants are re-encoded from the stored
+        weights, and the returned trace compiles to the same plan.
+        """
+        planner = LevelPlanner(
+            tracer,
+            scale_bits=self.scale_bits,
+            main_bits=getattr(self.cc, "main_bits", 30),
+            terminal_bits=getattr(self.cc, "terminal_bits", 25),
+        )
+        linalg = SlotLinalg(self.cc.encoder, tracer)
+        return _trace_layers(linalg, planner, self.layers, x)
+
+    # -- the two twins ------------------------------------------------------
+    def predict_plain(self, x) -> np.ndarray:
+        """The numpy twin: same weights, same polynomial activations.
+
+        Returns the (n, dim) slot matrix the encrypted path would
+        decrypt to (up to encryption noise).
+        """
+        h = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        for layer in self.layers:
+            h = h @ layer.weight.T + layer.bias
+            if layer.activation is not None:
+                h = layer.activation(h)
+        return h
+
+    def predict_encrypted(self, x) -> np.ndarray:
+        """Encrypt each sample, run the plan, decrypt the slot scores."""
+        rows = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        out = np.empty((rows.shape[0], self.dim))
+        for i, row in enumerate(rows):
+            ct = self.cc.encrypt(row, scale=self.scale, num_slots=self.dim)
+            res = self.plan.run(ct)
+            out[i] = self.cc.decrypt(res, num_slots=self.dim).real
+        return out
+
+    def classify(self, scores: np.ndarray) -> np.ndarray:
+        """Slot scores -> class labels (shared by both twins)."""
+        scores = np.atleast_2d(scores)
+        if self.kind == "binary":
+            return (scores[:, 0] > 0.5).astype(np.int64)
+        return np.argmax(scores[:, : self.n_classes], axis=1)
+
+
+def compile_model(
+    cc,
+    layers,
+    *,
+    scale_bits: int | None = None,
+    kind: str = "argmax",
+    n_classes: int | None = None,
+) -> CompiledModel:
+    """Compile a dense stack end to end; see the module docstring.
+
+    ``scale_bits`` defaults to the context's own ``cc.scale_bits``.
+    Raises :class:`~repro.errors.ModelPlanError` — naming the layer and
+    the failing budget — when the stack cannot be deployed on ``cc``'s
+    parameters, before any ciphertext exists.
+    """
+    if scale_bits is None:
+        scale_bits = getattr(cc, "scale_bits", 30)
+    layers = list(layers)
+    if not layers:
+        raise ParameterError("compile_model needs at least one layer")
+    dims = {layer.dim for layer in layers}
+    if len(dims) != 1:
+        raise ParameterError(
+            f"all layers must share one slot dim, got {sorted(dims)}"
+        )
+    if kind not in ("binary", "argmax"):
+        raise ParameterError(f"unknown decision kind {kind!r}")
+    tracer = CircuitTracer(cc.evaluator)
+    linalg = SlotLinalg(cc.encoder, tracer)
+    planner = LevelPlanner(
+        tracer,
+        scale_bits=scale_bits,
+        main_bits=getattr(cc, "main_bits", 30),
+        terminal_bits=getattr(cc, "terminal_bits", 25),
+    )
+    x = tracer.input("x", scale=2.0 ** scale_bits)
+    out = _trace_layers(linalg, planner, layers, x)
+    plan, report = planner.finish(out)
+    return CompiledModel(
+        cc, layers, plan, report,
+        scale_bits=scale_bits,
+        placed_rescales=planner.placed_rescales,
+        output_level=out.level,
+        kind=kind,
+        n_classes=layers[0].dim if n_classes is None else n_classes,
+    )
+
+
+# -- plain-numpy training ----------------------------------------------------
+def _softmax(z: np.ndarray) -> np.ndarray:
+    z = z - z.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def train_logreg(
+    x, y, *, epochs: int = 2000, lr: float = 0.5, l2: float = 1e-2,
+) -> tuple[np.ndarray, float]:
+    """Binary logistic regression by full-batch gradient descent.
+
+    Trains with the *exact* sigmoid (the polynomial replaces it only at
+    deployment); returns ``(w, b)``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    t = np.asarray(y, dtype=np.float64).ravel()
+    n, d = x.shape
+    w = np.zeros(d)
+    b = 0.0
+    for _ in range(epochs):
+        p = 1.0 / (1.0 + np.exp(-(x @ w + b)))
+        g = (p - t) / n
+        w -= lr * (x.T @ g + l2 * w)
+        b -= lr * float(g.sum())
+    return w, b
+
+
+def train_mlp(
+    x, y, activation: ChebyshevFit, *, hidden: int | None = None,
+    n_classes: int = 3, epochs: int = 1500, lr: float = 0.3,
+    l2: float = 1e-3, seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """One-hidden-layer softmax MLP trained *through* its polynomial.
+
+    The forward pass uses ``activation`` — the fitted polynomial, not
+    the exact nonlinearity — and backprop uses the polynomial's exact
+    derivative, so the trained network is precisely the one the
+    encrypted path evaluates.  Returns ``(W1, b1, W2, b2)``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    labels = np.asarray(y, dtype=np.int64).ravel()
+    n, d = x.shape
+    hidden = d if hidden is None else int(hidden)
+    onehot = np.eye(n_classes)[labels]
+    der = tuple(
+        k * c for k, c in enumerate(activation.coeffs)
+    )[1:]  # d/dx of the ascending-coefficient polynomial
+
+    def act_der(z: np.ndarray) -> np.ndarray:
+        acc = np.zeros_like(z)
+        for c in reversed(der):
+            acc = acc * z + c
+        return acc
+
+    rng = np.random.default_rng(seed)
+    w1 = rng.normal(0.0, 0.4, (hidden, d))
+    b1 = np.zeros(hidden)
+    w2 = rng.normal(0.0, 0.4, (n_classes, hidden))
+    b2 = np.zeros(n_classes)
+    for _ in range(epochs):
+        z1 = x @ w1.T + b1
+        h1 = activation(z1)
+        probs = _softmax(h1 @ w2.T + b2)
+        g = (probs - onehot) / n
+        gw2 = g.T @ h1 + l2 * w2
+        gb2 = g.sum(axis=0)
+        dz1 = (g @ w2) * act_der(z1)
+        gw1 = dz1.T @ x + l2 * w1
+        gb1 = dz1.sum(axis=0)
+        w2 -= lr * gw2
+        b2 -= lr * gb2
+        w1 -= lr * gw1
+        b1 -= lr * gb1
+    return w1, b1, w2, b2
+
+
+# -- model factories ---------------------------------------------------------
+def logistic_regression(
+    cc, x, y, *, degree: int = 7, scale_bits: int | None = None,
+    interval: tuple[float, float] | None = None,
+    epochs: int = 2000, lr: float = 0.5, l2: float = 1e-2,
+) -> CompiledModel:
+    """Train + compile encrypted binary logistic regression.
+
+    One dense layer whose rows all hold the trained ``w`` (the logit
+    replicates across every slot) under a degree-``degree`` sigmoid;
+    :meth:`CompiledModel.classify` thresholds slot 0 at ``0.5``.  The
+    sigmoid's fit interval defaults to 1.5x the trained logit range —
+    a monomial-basis interpolant diverges fast outside its interval, so
+    it must cover every logit the deployed weights can plausibly emit.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    w, b = train_logreg(x, y, epochs=epochs, lr=lr, l2=l2)
+    dim = w.size
+    if interval is None:
+        reach = 1.5 * float(np.max(np.abs(x @ w + b)))
+        interval = (-reach, reach)
+    fit = fit_activation("sigmoid", degree, interval=interval)
+    layer = DenseLayer(
+        "logreg",
+        np.tile(w, (dim, 1)),
+        np.full(dim, b),
+        fit,
+    )
+    return compile_model(
+        cc, [layer], scale_bits=scale_bits, kind="binary", n_classes=2
+    )
+
+
+def mlp(
+    cc, x, y, *, degree: int = 4, scale_bits: int | None = None,
+    n_classes: int = 3, interval: tuple[float, float] = (-6.0, 6.0),
+    epochs: int = 1500, lr: float = 0.3, l2: float = 1e-3, seed: int = 0,
+) -> CompiledModel:
+    """Train + compile a small encrypted MLP (dim -> dim -> dim slots).
+
+    The hidden layer uses a degree-``degree`` polynomial relu; the
+    output layer is linear (argmax is monotone-invariant), its weight
+    zero-padded from ``n_classes`` rows up to the slot dim.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    dim = x.shape[1]
+    if n_classes > dim:
+        raise ParameterError(
+            f"n_classes={n_classes} does not fit the {dim}-slot layout"
+        )
+    fit = fit_activation("relu", degree, interval=interval)
+    w1, b1, w2, b2 = train_mlp(
+        x, y, fit, hidden=dim, n_classes=n_classes,
+        epochs=epochs, lr=lr, l2=l2, seed=seed,
+    )
+    w2_pad = np.zeros((dim, dim))
+    w2_pad[:n_classes] = w2
+    b2_pad = np.zeros(dim)
+    b2_pad[:n_classes] = b2
+    layers = [
+        DenseLayer("hidden", w1, b1, fit),
+        DenseLayer("output", w2_pad, b2_pad, None),
+    ]
+    return compile_model(
+        cc, layers, scale_bits=scale_bits, kind="argmax", n_classes=n_classes
+    )
+
+
+def agreement(a: np.ndarray, b: np.ndarray) -> float:
+    """Fraction of samples where two label vectors agree."""
+    a, b = np.asarray(a).ravel(), np.asarray(b).ravel()
+    if a.size != b.size or a.size == 0:
+        raise ParameterError(
+            f"agreement needs two equal nonempty label vectors, "
+            f"got sizes {a.size} and {b.size}"
+        )
+    return float(np.mean(a == b))
+
+
+def accuracy(pred: np.ndarray, truth: np.ndarray) -> float:
+    """Classification accuracy (sugar over :func:`agreement`)."""
+    return agreement(pred, truth)

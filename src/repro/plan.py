@@ -6,7 +6,7 @@ Three planning surfaces grew up independently in this codebase —
 inside ``SlotLinalg`` (PR 5).  Each one precomputes a schedule once and
 replays it many times, but each exposed a different API.  This module
 names the common contract so callers can treat any of them — including
-whole-circuit :class:`repro.scheme.circuit.CircuitPlan` objects —
+whole-circuit :class:`repro.scheme._circuit.CircuitPlan` objects —
 uniformly:
 
 * ``SomePlan.build(...)`` constructs a plan from a configuration,

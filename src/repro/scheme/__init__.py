@@ -13,8 +13,9 @@ oracle — now with direct slot semantics — the end-to-end tests compare
 against.
 """
 
+from repro.scheme._circuit import CircuitPlan, TracedCiphertext
+from repro.scheme._linalg import bsgs_split
 from repro.scheme.ciphertext import Ciphertext, Plaintext
-from repro.scheme.circuit import CircuitPlan, CircuitTracer, TracedCiphertext
 from repro.scheme.cost import SchemeCostModel
 from repro.scheme.encoder import CanonicalEncoder, special_fft, special_ifft
 from repro.scheme.evaluator import Evaluator
@@ -29,8 +30,35 @@ from repro.scheme.keys import (
     sample_error,
     sample_ternary,
 )
-from repro.scheme.linalg import SlotLinalg, bsgs_split
 from repro.scheme.reference import ReferenceEvaluator
+
+#: internals as of the PR 10 API redesign, kept importable for one
+#: release behind a warn-once shim (replacement named in the warning)
+_DEPRECATED = {
+    "SlotLinalg": (
+        "repro.scheme._linalg",
+        "CkksContext (cc.matvec / cc.poly_eval / cc.compile)",
+    ),
+    "CircuitTracer": (
+        "repro.scheme._circuit",
+        "CkksContext.compile(build)",
+    ),
+}
+
+
+def __getattr__(name):
+    entry = _DEPRECATED.get(name)
+    if entry is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+
+    from repro._compat import warn_once
+
+    module, replacement = entry
+    warn_once(f"repro.scheme.{name}", replacement)
+    return getattr(importlib.import_module(module), name)
 
 __all__ = [
     "DEFAULT_SIGMA",

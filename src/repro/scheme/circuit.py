@@ -1,1053 +1,36 @@
-"""Circuit compiler: trace an evaluator program, plan it, replay it.
+"""Deprecated import path: the module moved to ``repro.scheme._circuit``.
 
-PRs 3–5 each gave one composite op an ahead-of-time plan — the
-:class:`~repro.poly.basis_conv.KeySwitchPlan` schedule, the hoisted
-rotation tensor, the BSGS matvec/poly_eval schedules — and each beat its
-eager composition while staying bit-identical.  This module generalizes
-the discipline to *whole programs*:
-
-* :class:`CircuitTracer` is an :class:`~repro.scheme.evaluator.Evaluator`
-  that records instead of computing: every op appends a node to a DAG
-  and returns a :class:`TracedCiphertext` carrying only metadata (scale,
-  level, context).  Any code written against the evaluator interface —
-  including :class:`~repro.scheme.linalg.SlotLinalg` compositions —
-  traces unmodified.
-* The **planner** (:meth:`CircuitTracer.compile`) rewrites the DAG:
-  common subexpressions are shared (hash-consing at trace time), every
-  group of Galois ops on one source shares a single hoisted ModUp,
-  rescale chains fuse into the producing key switch / plaintext product,
-  plaintext-multiply-accumulate trees collapse into fused NTT-domain
-  MACs, and intermediates whose consumers all accept NTT operands stay
-  in the NTT domain across op boundaries.  Every transformation
-  preserves the ring-level expression exactly, so compiled execution is
-  **bit-identical** to the eager evaluator (the property tests replay
-  seeded random DAGs both ways and compare limbs).
-* The **executor** (:meth:`CircuitPlan.run`) replays the step list
-  against fresh inputs with zero per-call planning or allocation: the
-  key-switch schedules, automorphism permutations, hoist tensors, lazy
-  accumulators and encoded (transformed, backend-prepared) plaintexts
-  are all captured once per plan.  Noise estimates are computed at run
-  time per step with the evaluator's exact formulas — they depend on
-  the inputs, the schedule does not.
-
-:class:`CircuitPlan` satisfies the :class:`repro.plan.Plan` protocol:
-``build`` / ``run`` / ``cost`` / ``validate``.
+:class:`~repro.scheme._circuit.CircuitTracer` is internal as of the
+PR 10 API redesign — user programs compile circuits through
+:meth:`repro.context.CkksContext.compile`, which owns the tracer.  This
+shim keeps the old path importable for one release, warning once per
+name; :class:`~repro.scheme._circuit.CircuitPlan` and
+:class:`~repro.scheme._circuit.TracedCiphertext` stay silent re-exports
+(plans and traced handles are what the public API returns and passes to
+user build functions).
 """
 
 from __future__ import annotations
 
-import math
-from collections.abc import Mapping, Sequence
-
-import numpy as np
-
-from repro import hooks
-from repro.errors import (
-    CheddarError,
-    LevelError,
-    ParameterError,
-    PlanExecutionError,
-    TraceError,
-)
-from repro.poly.basis_conv import KeySwitchKey
-from repro.poly.cost import CostModel, OpCost, _merge
-from repro.poly.lazy import LazyAccumulator
-from repro.poly.ntt import automorphism_tables
-from repro.poly.rns_poly import (
-    _FP_MIX,
-    COEFF,
-    NTT,
-    PolyContext,
-    RnsPolynomial,
-    data_fingerprint,
-)
-from repro.scheme.ciphertext import Ciphertext, Plaintext
-from repro.scheme.cost import SchemeCostModel
-from repro.scheme.evaluator import (
-    SCALE_RTOL,
-    Evaluator,
-    _combine_bits,
-    validate_rotations,
-)
-from repro.scheme.keys import galois_element
-
-__all__ = ["CircuitTracer", "TracedCiphertext", "CircuitPlan"]
-
-
-class _Node:
-    """One recorded evaluator operation (or a declared input)."""
-
-    __slots__ = ("id", "op", "args", "payload", "scale", "ctx")
-
-    def __init__(self, nid, op, args, payload, scale, ctx):
-        self.id = nid
-        self.op = op
-        self.args = tuple(args)
-        self.payload = payload
-        self.scale = float(scale)
-        self.ctx = ctx
-
-    @property
-    def level(self) -> int:
-        return self.ctx.num_limbs
-
-
-class TracedCiphertext:
-    """A symbolic ciphertext: metadata only, produced by a tracer.
-
-    Carries exactly the state the evaluator's soundness checks consult
-    (scale / level / context); asking for numeric data — the component
-    polynomials, the noise estimate — raises
-    :class:`~repro.errors.TraceError`, because a trace has none.
-    """
-
-    __slots__ = ("node", "tracer")
-
-    def __init__(self, node: _Node, tracer: CircuitTracer) -> None:
-        self.node = node
-        self.tracer = tracer
-
-    @property
-    def scale(self) -> float:
-        return self.node.scale
-
-    @property
-    def level(self) -> int:
-        return self.node.level
-
-    @property
-    def ctx(self) -> PolyContext:
-        return self.node.ctx
-
-    @property
-    def domain(self) -> str:
-        # Every eager evaluator op materializes coefficient-domain
-        # ciphertexts; the planner's NTT persistence is internal.
-        return COEFF
-
-    def _no_data(self, what: str):
-        raise TraceError(
-            f"traced ciphertext has no {what}: the tracer records the "
-            "program, it does not execute it (compile the circuit and "
-            "run the plan to get numbers)"
-        )
-
-    @property
-    def c0(self):
-        self._no_data("component polynomials")
-
-    @property
-    def c1(self):
-        self._no_data("component polynomials")
-
-    @property
-    def noise_bits(self):
-        self._no_data("noise estimate")
-
-    @property
-    def noise_budget_bits(self):
-        self._no_data("noise estimate")
-
-
-class CircuitTracer(Evaluator):
-    """An evaluator that records a program DAG instead of executing it.
-
-    Built from a configured eager evaluator (whose context and keys it
-    shares), it exposes the same op surface; each call runs the same
-    soundness checks the eager op would (level / context / scale / key
-    availability) against the traced metadata, then appends a node.
-    Structurally identical calls are hash-consed to one node, so e.g.
-    the balanced power tree of ``poly_eval`` traces to a shared DAG with
-    or without the implementation's own cache.
-
-    ``encrypt`` / ``decrypt`` raise :class:`TraceError`: a circuit's
-    boundary is :meth:`input` and the compiled plan's outputs.
-    """
-
-    def __init__(self, evaluator: Evaluator) -> None:
-        super().__init__(
-            evaluator.ctx,
-            relin_key=evaluator.relin_key,
-            galois_keys=evaluator.galois_keys,
-            sigma=evaluator.sigma,
-        )
-        self.nodes: list[_Node] = []
-        self._cse: dict[tuple, _Node] = {}
-        self._input_names: set[str] = set()
-
-    # -- node construction -------------------------------------------------
-    def _record(self, op, args, payload_key, payload, scale, ctx):
-        key = (op, tuple(a.id for a in args), payload_key)
-        node = self._cse.get(key)
-        if node is None:
-            node = _Node(len(self.nodes), op, args, payload, scale, ctx)
-            self.nodes.append(node)
-            self._cse[key] = node
-        return TracedCiphertext(node, self)
-
-    def _tn(self, ct, op: str) -> _Node:
-        if not isinstance(ct, TracedCiphertext) or ct.tracer is not self:
-            raise TraceError(
-                f"{op}: operand is not a traced ciphertext of this tracer"
-            )
-        return ct.node
-
-    # -- circuit boundary --------------------------------------------------
-    def input(self, name: str, *, scale: float) -> TracedCiphertext:
-        """Declare a named circuit input at the tracer's context/level."""
-        if not name:
-            raise ParameterError("circuit inputs need a non-empty name")
-        if name in self._input_names:
-            raise ParameterError(f"duplicate circuit input name {name!r}")
-        if scale <= 0:
-            raise ParameterError(f"input scale must be > 0, got {scale}")
-        self._input_names.add(name)
-        return self._record("input", (), name, name, scale, self.ctx)
-
-    def encrypt(self, pt, pk, rng):
-        raise TraceError(
-            "encrypt is not traceable: declare circuit inputs with "
-            "tracer.input(name, scale=...) and encrypt outside the circuit"
-        )
-
-    def decrypt(self, ct, sk):
-        raise TraceError(
-            "decrypt is not traceable: run the compiled plan and decrypt "
-            "its outputs outside the circuit"
-        )
-
-    # -- recorded ops ------------------------------------------------------
-    def add(self, a, b):
-        an, bn = self._tn(a, "add"), self._tn(b, "add")
-        self._check_pair(a, b, "add")
-        self._check_scales(a.scale, b.scale, "add")
-        return self._record("add", (an, bn), None, None, a.scale, an.ctx)
-
-    def sub(self, a, b):
-        an, bn = self._tn(a, "sub"), self._tn(b, "sub")
-        self._check_pair(a, b, "sub")
-        self._check_scales(a.scale, b.scale, "sub")
-        return self._record("sub", (an, bn), None, None, a.scale, an.ctx)
-
-    def negate(self, ct):
-        n = self._tn(ct, "negate")
-        return self._record("negate", (n,), None, None, ct.scale, n.ctx)
-
-    def add_plain(self, ct, pt: Plaintext):
-        n = self._tn(ct, "add_plain")
-        self._check_scales(ct.scale, pt.scale, "add_plain")
-        reason = ct.ctx.mismatch_reason(pt.ctx)
-        if reason is not None:
-            raise ParameterError(f"add_plain: {reason}")
-        return self._record(
-            "add_plain", (n,), id(pt), pt, ct.scale, n.ctx
-        )
-
-    def multiply_plain(self, ct, pt: Plaintext):
-        n = self._tn(ct, "multiply_plain")
-        reason = ct.ctx.mismatch_reason(pt.ctx)
-        if reason is not None:
-            raise ParameterError(f"multiply_plain: {reason}")
-        return self._record(
-            "multiply_plain", (n,), id(pt), pt, ct.scale * pt.scale, n.ctx
-        )
-
-    def multiply(self, a, b):
-        an, bn = self._tn(a, "multiply"), self._tn(b, "multiply")
-        if self.relin_key is None:
-            raise TraceError(
-                "multiply requires a relinearization key "
-                "(KeyGenerator.relinearization_key)"
-            )
-        self._check_pair(a, b, "multiply")
-        self._check_key_level(self.relin_key, a, "multiply")
-        # Products commute; canonicalize the argument order so a*b and
-        # b*a hash-cons to one node.  (multiply IS commutative here: the
-        # tensor components t0/t1/t2 and the noise estimate are all
-        # symmetric in the operands.)
-        if an.id > bn.id:
-            an, bn = bn, an
-        return self._record(
-            "multiply", (an, bn), None, None, a.scale * b.scale, an.ctx
-        )
-
-    def rescale(self, ct):
-        n = self._tn(ct, "rescale")
-        if ct.level < 2:
-            raise LevelError(
-                f"cannot rescale a level-{ct.level} ciphertext: "
-                "no limb left to drop"
-            )
-        q_last = n.ctx.primes[-1]
-        return self._record(
-            "rescale", (n,), None, None, ct.scale / q_last, n.ctx.drop_last()
-        )
-
-    def apply_galois(self, ct, k: int):
-        n = self._tn(ct, "apply_galois")
-        ksk = self._galois_key_for(k, "apply_galois")
-        self._check_key_level(ksk, ct, "apply_galois")
-        return self._record("galois", (n,), int(k), (int(k), ksk), ct.scale, n.ctx)
-
-    # rotate / conjugate are inherited: they resolve the Galois element
-    # and call apply_galois, which is all the tracer needs.
-
-    def rotate_hoisted(self, ct, rotations: Sequence[int]):
-        """Trace-mode hoisted rotations: plain Galois nodes per index.
-
-        The *planner* rediscovers the shared ModUp — every Galois node
-        on one source joins one hoist group at compile time — so the
-        trace does not need a dedicated hoisted op.  Validation matches
-        the eager path.
-        """
-        self._tn(ct, "rotate_hoisted")
-        if not rotations:
-            raise ParameterError("rotate_hoisted needs >= 1 rotation index")
-        n = self.ctx.ring_degree
-        validate_rotations(rotations, n // 2, "rotate_hoisted")
-        elements = [galois_element(r, n) for r in rotations]
-        keys = [self._galois_key_for(k, "rotate_hoisted") for k in elements]
-        first = keys[0]
-        for ksk in keys:
-            self._check_key_level(ksk, ct, "rotate_hoisted")
-            if (ksk.aux_primes != first.aux_primes or ksk.dnum != first.dnum):
-                raise ParameterError(
-                    "rotate_hoisted: all Galois keys must share one "
-                    "(aux basis, dnum) configuration to share a ModUp"
-                )
-        return {
-            r: self.apply_galois(ct, k) for r, k in zip(rotations, elements)
-        }
-
-    # -- compilation -------------------------------------------------------
-    def compile(self, outputs) -> CircuitPlan:
-        """Plan the recorded DAG down to the named ``outputs``.
-
-        ``outputs`` is either a single :class:`TracedCiphertext` (the
-        plan's :meth:`~CircuitPlan.run` then returns a bare
-        :class:`Ciphertext`) or a ``{name: traced}`` mapping.
-        """
-        if isinstance(outputs, TracedCiphertext):
-            out_nodes = {"out": self._tn(outputs, "compile")}
-            single = True
-        elif isinstance(outputs, Mapping):
-            if not outputs:
-                raise ParameterError("compile needs at least one output")
-            out_nodes = {
-                str(name): self._tn(tc, "compile")
-                for name, tc in outputs.items()
-            }
-            single = False
-        else:
-            raise ParameterError(
-                "compile takes a traced ciphertext or a {name: traced} "
-                f"mapping, got {type(outputs).__name__}"
-            )
-        return CircuitPlan(self, out_nodes, single)
-
-
-class _Step:
-    """One executor step of a compiled plan."""
-
-    __slots__ = ("kind", "dst", "srcs", "payload", "rescales", "emit_ntt",
-                 "level", "label")
-
-    def __init__(self, kind, dst=-1, srcs=(), payload=None, rescales=0,
-                 emit_ntt=False, level=0, label=""):
-        self.kind = kind
-        self.dst = dst
-        self.srcs = tuple(srcs)
-        self.payload = payload
-        self.rescales = rescales
-        self.emit_ntt = emit_ntt
-        self.level = level
-        #: trace-node provenance ("n<id>:<op>") for analyzer diagnostics
-        self.label = label
-
-
-#: consumer ops that accept an NTT-domain operand without forcing an
-#: inverse transform the eager schedule would not also pay
-_NTT_OK_CONSUMERS = frozenset(
-    {"add", "sub", "negate", "multiply", "multiply_plain"}
+from repro._compat import warn_once
+from repro.scheme import _circuit
+from repro.scheme._circuit import (  # noqa: F401  (still public)
+    CircuitPlan,
+    TracedCiphertext,
 )
 
-#: ops whose producing step can absorb a following single-consumer
-#: rescale (they materialize coefficient-domain components anyway)
-_RESCALE_FUSABLE = frozenset({"multiply", "galois", "multiply_plain"})
+_DEPRECATED = {
+    "CircuitTracer": "CkksContext.compile(build)",
+}
 
 
-class CircuitPlan:
-    """A compiled evaluator program: step list + captured constants.
-
-    Satisfies the :class:`repro.plan.Plan` protocol.  Build once
-    (through :meth:`CircuitTracer.compile` / :meth:`build`), run many:
-    every :meth:`run` replays the same schedule against fresh inputs —
-    no planning, no plaintext encoding, no scratch allocation.
-    """
-
-    def __init__(
-        self,
-        tracer: CircuitTracer,
-        out_nodes: dict[str, _Node],
-        single: bool,
-    ) -> None:
-        self.ctx = tracer.ctx
-        self._sigma = tracer.sigma
-        self._single = single
-        # declared at trace time; some may be dead after DCE, and a
-        # caller feeding the full batch must not be punished for that
-        self._declared = frozenset(tracer._input_names)
-        self._plan(tracer, out_nodes)
-
-    @classmethod
-    def build(cls, tracer: CircuitTracer, outputs) -> CircuitPlan:
-        """Plan-protocol constructor (same as ``tracer.compile``)."""
-        return tracer.compile(outputs)
-
-    # -- planning ----------------------------------------------------------
-    def _plan(self, tracer: CircuitTracer, out_nodes: dict[str, _Node]):
-        out_ids = {n.id for n in out_nodes.values()}
-
-        # Dead-code elimination: nodes reachable from the outputs, in
-        # trace order (which is a topological order by construction).
-        reach: set[int] = set()
-        stack = list(out_nodes.values())
-        while stack:
-            n = stack.pop()
-            if n.id in reach:
-                continue
-            reach.add(n.id)
-            stack.extend(n.args)
-            if n.op == "galois":
-                pass  # key/element ride in the payload, no node args
-        live = [n for n in tracer.nodes if n.id in reach]
-
-        cons: dict[int, list[_Node]] = {n.id: [] for n in live}
-        for n in live:
-            for a in n.args:
-                cons[a.id].append(n)
-
-        # -- MAC fusion: left-fold add chains over single-consumer
-        # plaintext products collapse into one fused NTT-domain MAC per
-        # chain (exactly the _fused_inner schedule, rediscovered).
-        mac_terms: dict[int, list[tuple[_Node, Plaintext]]] = {}
-        absorbed: set[int] = set()
-
-        def _mp_term(x: _Node):
-            if (
-                x.op == "multiply_plain"
-                and len(cons[x.id]) == 1
-                and x.id not in out_ids
-            ):
-                return (x.args[0], x.payload)
-            return None
-
-        for n in live:
-            if n.op != "add":
-                continue
-            left, right = n.args
-            rt = _mp_term(right)
-            if rt is None:
-                continue
-            lt = _mp_term(left)
-            if lt is not None:
-                mac_terms[n.id] = [lt, rt]
-                absorbed.update((left.id, right.id))
-            elif (
-                left.id in mac_terms
-                and len(cons[left.id]) == 1
-                and left.id not in out_ids
-            ):
-                mac_terms[n.id] = mac_terms.pop(left.id) + [rt]
-                absorbed.update((left.id, right.id))
-
-        def _eff_op(n: _Node) -> str:
-            return "mac" if n.id in mac_terms else n.op
-
-        # -- rescale fusion: a single-consumer key switch / plaintext
-        # product followed by rescale(s) executes them in one step, on
-        # the coefficient-domain components it just produced.
-        base_of: dict[int, tuple[_Node, int]] = {}
-        inlined: set[int] = set()
-        for n in live:
-            if n.op != "rescale" or n.id in absorbed:
-                continue
-            src = n.args[0]
-            if len(cons[src.id]) != 1 or src.id in out_ids:
-                continue
-            if src.id in base_of:
-                base, k = base_of[src.id]
-                base_of[n.id] = (base, k + 1)
-                inlined.add(src.id)
-            elif src.id not in absorbed and (
-                _eff_op(src) in _RESCALE_FUSABLE or src.id in mac_terms
-            ):
-                base_of[n.id] = (src, 1)
-                inlined.add(src.id)
-
-        # -- NTT persistence: a value stays in the NTT domain when every
-        # consumer accepts it there (and it is not an output and carries
-        # no fused rescale).  Conversions are exact either way; this
-        # only removes inverse/forward transform pairs.
-        def _keeps_ntt(value_node: _Node, produced_op: str, rescales: int):
-            if rescales or value_node.id in out_ids:
-                return False
-            if produced_op not in ("add", "sub", "negate",
-                                   "multiply_plain", "mac"):
-                return False
-            users = cons[value_node.id]
-            if not users:
-                return False
-            return all(c.op in _NTT_OK_CONSUMERS for c in users)
-
-        # -- hoist grouping: Galois ops are grouped by (source value,
-        # key configuration); each group shares one ModUp + forward
-        # transform of every digit.
-        hoist_groups: dict[tuple, int] = {}
-        hoist_specs: list[tuple[_Node, object]] = []  # (src node, switcher)
-
-        def _galois_group(gnode: _Node) -> int:
-            k, ksk = gnode.payload
-            src = gnode.args[0]
-            key = (src.id, tuple(ksk.aux_primes), ksk.dnum)
-            idx = hoist_groups.get(key)
-            if idx is None:
-                idx = len(hoist_specs)
-                hoist_groups[key] = idx
-                switcher = gnode.ctx.key_switcher(ksk.aux_primes, ksk.dnum)
-                hoist_specs.append((src, switcher))
-            return idx
-
-        # -- step emission in trace order --------------------------------
-        slot_of: dict[int, int] = {}
-        steps: list[_Step] = []
-        inputs: list[tuple[str, int, float]] = []
-        hoisted_emitted: set[int] = set()
-        n_ring = self.ctx.ring_degree
-        levels_used: set[int] = set()
-
-        def _slot(node: _Node) -> int:
-            return slot_of[node.id]
-
-        for n in live:
-            if n.id in absorbed or n.id in inlined:
-                continue
-            # Resolve what this value node actually computes.
-            if n.id in base_of:
-                base, rescales = base_of[n.id]
-            else:
-                base, rescales = n, 0
-            op = _eff_op(base)
-            dst = len(slot_of)
-            slot_of[n.id] = dst
-            emit_ntt = _keeps_ntt(n, op, rescales)
-            level = base.ctx.num_limbs
-            levels_used.add(level)
-            if op == "input":
-                inputs.append((base.payload, dst, base.scale))
-                steps.append(_Step("input", dst, (),
-                                   (base.payload, base.scale), level=level))
-            elif op in ("add", "sub", "negate"):
-                steps.append(_Step(
-                    op, dst, [_slot(a) for a in base.args],
-                    emit_ntt=emit_ntt, level=level,
-                ))
-            elif op == "add_plain":
-                pt = base.payload
-                steps.append(_Step(
-                    "add_plain", dst, (_slot(base.args[0]),), pt,
-                    level=level,
-                ))
-            elif op == "multiply_plain":
-                pt = base.payload
-                p_ntt = pt.poly.to_ntt()
-                p_ntt.prepared_operand()
-                steps.append(_Step(
-                    "multiply_plain", dst, (_slot(base.args[0]),),
-                    (pt, p_ntt), rescales, emit_ntt, level,
-                ))
-            elif op == "mac":
-                terms = mac_terms[base.id]
-                pts = [pt for _, pt in terms]
-                p_ntts = []
-                for pt in pts:
-                    p = pt.poly.to_ntt()
-                    p.prepared_operand()
-                    p_ntts.append(p)
-                steps.append(_Step(
-                    "mac", dst, [_slot(src) for src, _ in terms],
-                    (pts, p_ntts), rescales, emit_ntt, level,
-                ))
-            elif op == "multiply":
-                switcher = base.ctx.key_switcher(
-                    tracer.relin_key.aux_primes, tracer.relin_key.dnum
-                )
-                ks_plan = switcher.plan_for(
-                    NTT, has_twin=False, output_domain=COEFF
-                )
-                steps.append(_Step(
-                    "multiply", dst,
-                    (_slot(base.args[0]), _slot(base.args[1])),
-                    (tracer.relin_key, switcher, ks_plan), rescales,
-                    level=level,
-                ))
-            elif op == "galois":
-                k, ksk = base.payload
-                gidx = _galois_group(base)
-                if gidx not in hoisted_emitted:
-                    hoisted_emitted.add(gidx)
-                    src_node, switcher = hoist_specs[gidx]
-                    steps.append(_Step(
-                        "hoist", -1, (_slot(src_node),),
-                        (gidx, switcher), level=level,
-                    ))
-                perm = automorphism_tables(n_ring, k)[2]
-                _, switcher = hoist_specs[gidx]
-                steps.append(_Step(
-                    "galois", dst, (_slot(base.args[0]),),
-                    (k, ksk, perm, gidx, switcher), rescales,
-                    level=level,
-                ))
-            elif op == "rescale":
-                steps.append(_Step(
-                    "rescale", dst, (_slot(base.args[0]),), level=level,
-                ))
-            else:  # pragma: no cover - tracer and planner move together
-                raise ParameterError(f"unknown traced op {base.op!r}")
-            steps[-1].label = f"n{n.id}:{op}"
-            if op == "galois" and steps[-2].kind == "hoist":
-                if not steps[-2].label:
-                    steps[-2].label = f"n{n.id}:hoist"
-
-        self._steps = steps
-        self._n_slots = len(slot_of)
-        self._inputs = inputs
-        self._outputs = {name: slot_of[n.id] for name, n in out_nodes.items()}
-
-        # -- per-plan scratch ---------------------------------------------
-        # One lazy accumulator per live level serves every MAC in the
-        # plan (steps run sequentially; multiply_accumulate resets it).
-        self._accs: dict[int, LazyAccumulator] = {}
-        for level in levels_used:
-            lvl_ctx = self.ctx
-            while lvl_ctx.num_limbs > level:
-                lvl_ctx = lvl_ctx.drop_last()
-            self._accs[level] = LazyAccumulator(
-                lvl_ctx.batch_ntt.backend.red,
-                (level, n_ring),
-                strategy="reduced",
-            )
-        # One hoist tensor per group, shaped by its switcher.
-        self._hoist_bufs = [
-            np.empty((sw.dnum, sw.num_ext, n_ring), np.uint64)
-            for _, sw in hoist_specs
-        ]
-
-    # -- plan protocol -----------------------------------------------------
-    def validate(self, config) -> None:
-        """Refuse inputs/configs from a different context chain.
-
-        ``config`` is a :class:`PolyContext` or anything carrying one
-        (an evaluator, a ciphertext).  Raises
-        :class:`~repro.errors.ParameterError` naming the first
-        mismatched field — including level mismatches, which is the
-        stale-plan case (a plan compiled at one level cannot replay
-        against operands that have rescaled past it).
-        """
-        ctx = config if isinstance(config, PolyContext) else config.ctx
-        reason = self.ctx.mismatch_reason(ctx)
-        if reason is not None:
-            raise ParameterError(f"stale plan: {reason}")
-
-    @property
-    def input_names(self) -> list[str]:
-        return [name for name, _, _ in self._inputs]
-
-    @property
-    def num_steps(self) -> int:
-        return len(self._steps)
-
-    def describe(self) -> str:
-        """One line per step: kind, register, fused-rescale count."""
-        parts = []
-        for s in self._steps:
-            tag = s.kind
-            if s.rescales:
-                tag += f"+rs{s.rescales}"
-            if s.emit_ntt:
-                tag += "~ntt"
-            parts.append(f"{tag}->r{s.dst}" if s.dst >= 0 else tag)
-        return " ; ".join(parts)
-
-    def fingerprint(self) -> int:
-        """Checksum over every captured plaintext constant in the plan.
-
-        Folds, per step, the fingerprints of the encoded plaintext
-        polynomials, their NTT-domain copies, *and* the backend-prepared
-        operand arrays the pointwise kernels actually consume (a
-        corrupted prepared handle would otherwise poison every product
-        while the source limbs still checksum clean), mixed with the
-        step index.  The serving layer records this at tenant
-        registration and re-checks it before each batch dispatch; a
-        mismatch quarantines the plan and triggers a rebuild from the
-        tenant's build function.  Fault detection only — not
-        cryptographic.
-        """
-        with np.errstate(over="ignore"):
-            h = np.uint64(len(self._steps))
-            for idx, step in enumerate(self._steps):
-                if step.kind == "multiply_plain":
-                    pt, p_ntt = step.payload
-                    polys = (pt.poly, p_ntt)
-                elif step.kind == "mac":
-                    pts, p_ntts = step.payload
-                    polys = tuple(pt.poly for pt in pts) + tuple(p_ntts)
-                elif step.kind == "add_plain":
-                    polys = (step.payload.poly,)
-                else:
-                    continue
-                for poly in polys:
-                    h = (h ^ np.uint64(poly.fingerprint())) * _FP_MIX
-                    prepared = poly.state.prepared
-                    if prepared is not None:
-                        for arr in prepared:
-                            word = np.uint64(data_fingerprint(arr))
-                            h = (h ^ word) * _FP_MIX
-                h ^= np.uint64(idx + 1)
-            return int(h * _FP_MIX)
-
-    def analyze(self, **kwargs):
-        """Static Level-2 check of this plan, without running it.
-
-        Sugar for :func:`repro.analysis.check_plan`: propagates
-        level/scale/noise-budget lattices over the step list with the
-        executor's exact formulas and returns a
-        :class:`~repro.analysis.plan_check.PlanReport` flagging budget
-        exhaustion, scale pathologies, dead hoists and redundant NTT
-        round trips before any ciphertext is touched.
-        """
-        from repro.analysis.plan_check import check_plan
-
-        return check_plan(self, **kwargs)
-
-    def _ks_bits(self, ksk: KeySwitchKey) -> float:
-        return math.log2(self._sigma * ksk.dnum * self.ctx.ring_degree)
-
-    # -- execution ---------------------------------------------------------
-    def run(
-        self, inputs=None, *, tag=None, **named
-    ) -> Ciphertext | dict[str, Ciphertext]:
-        """Replay the plan against fresh input ciphertexts.
-
-        Inputs are passed as a mapping or keywords, one per declared
-        :meth:`CircuitTracer.input` name that survived planning.  Each
-        is validated against the plan's context, level and scale —
-        a stale or foreign ciphertext raises
-        :class:`~repro.errors.ParameterError` instead of producing
-        garbage.  Returns a bare :class:`Ciphertext` for single-output
-        plans, else ``{name: Ciphertext}``.
-
-        A library error raised *inside* a compute step is re-raised as
-        :class:`~repro.errors.PlanExecutionError` naming the step index,
-        the trace-node label, and the caller-supplied ``tag`` (the
-        serving layer passes its tenant/request identity); the original
-        exception rides along as ``__cause__``.  Input-validation steps
-        are exempt so callers keep the precise
-        :class:`~repro.errors.ParameterError` contract above.
-        """
-        provided: dict[str, Ciphertext] = {}
-        if inputs is not None:
-            if isinstance(inputs, Ciphertext) and len(self._inputs) == 1:
-                provided[self._inputs[0][0]] = inputs
-            elif isinstance(inputs, Mapping):
-                provided.update(inputs)
-            else:
-                raise ParameterError(
-                    "run takes a {name: Ciphertext} mapping (or a single "
-                    "ciphertext for single-input plans)"
-                )
-        provided.update(named)
-        needed = {name for name, _, _ in self._inputs}
-        missing = sorted(needed - provided.keys())
-        extra = sorted(provided.keys() - needed - self._declared)
-        if missing or extra:
-            raise ParameterError(
-                f"plan inputs are {sorted(needed)}; "
-                f"missing {missing}, unexpected {extra}"
-            )
-
-        vals: list[Ciphertext | None] = [None] * self._n_slots
-        for idx, step in enumerate(self._steps):
-            try:
-                hooks.emit("circuit.step", step.label)
-                self._run_step(step, vals, provided)
-            except CheddarError as exc:
-                if step.kind == "input":
-                    # Input validation keeps its precise ParameterError
-                    # contract (stale plan / wrong scale name the input).
-                    raise
-                label = step.label or step.kind
-                who = f" [{tag}]" if tag else ""
-                raise PlanExecutionError(
-                    f"step {idx}/{len(self._steps)} ({label}){who} "
-                    f"failed: {exc}",
-                    step_index=idx,
-                    label=label,
-                    tag=tag,
-                ) from exc
-        outs = {
-            name: self._materialize(vals[slot])
-            for name, slot in self._outputs.items()
-        }
-        if self._single:
-            return outs["out"]
-        return outs
-
-    @staticmethod
-    def _materialize(ct: Ciphertext) -> Ciphertext:
-        """Coefficient-domain view of a (possibly NTT-kept) value."""
-        if ct.domain == COEFF:
-            return ct
-        return Ciphertext(
-            ct.c0.to_coeff(),
-            ct.c1.to_coeff(),
-            scale=ct.scale,
-            noise_bits=ct.noise_bits,
-        )
-
-    def _apply_rescales(self, c0, c1, scale, noise, count):
-        """Eager-identical rescale formulas, applied ``count`` times."""
-        for _ in range(count):
-            ctx = c0.ctx
-            q_last = ctx.primes[-1]
-            c0 = c0.to_coeff().exact_rescale()
-            c1 = c1.to_coeff().exact_rescale()
-            noise = max(
-                noise - math.log2(q_last),
-                0.5 * math.log2(ctx.ring_degree) + 1.0,
-            )
-            scale = scale / q_last
-        return c0, c1, scale, noise
-
-    def _finish(self, step, c0, c1, scale, noise):
-        if step.rescales:
-            c0, c1, scale, noise = self._apply_rescales(
-                c0, c1, scale, noise, step.rescales
-            )
-        elif not step.emit_ntt and c0.domain != COEFF:
-            c0, c1 = c0.to_coeff(), c1.to_coeff()
-        return Ciphertext(c0, c1, scale=scale, noise_bits=noise)
-
-    def _run_step(self, step, vals, provided) -> None:
-        kind = step.kind
-        if kind == "input":
-            name, scale = step.payload
-            ct = provided[name]
-            if not isinstance(ct, Ciphertext):
-                raise ParameterError(
-                    f"input {name!r} is not a Ciphertext "
-                    f"(got {type(ct).__name__})"
-                )
-            reason = self.ctx.mismatch_reason(ct.ctx)
-            if reason is not None:
-                raise ParameterError(f"stale plan for input {name!r}: {reason}")
-            if not math.isclose(ct.scale, scale, rel_tol=SCALE_RTOL):
-                raise ParameterError(
-                    f"input {name!r} arrives at scale "
-                    f"2^{math.log2(ct.scale):.3f} but the plan was traced "
-                    f"at 2^{math.log2(scale):.3f}"
-                )
-            vals[step.dst] = ct
-            return
-        if kind in ("add", "sub"):
-            a, b = vals[step.srcs[0]], vals[step.srcs[1]]
-            if a.domain != b.domain or (
-                not step.emit_ntt and a.domain != COEFF
-            ):
-                a, b = self._materialize(a), self._materialize(b)
-            fn0 = a.c0.add if kind == "add" else a.c0.sub
-            fn1 = a.c1.add if kind == "add" else a.c1.sub
-            vals[step.dst] = Ciphertext(
-                fn0(b.c0),
-                fn1(b.c1),
-                scale=a.scale,
-                noise_bits=_combine_bits(a.noise_bits, b.noise_bits),
-            )
-            return
-        if kind == "negate":
-            ct = vals[step.srcs[0]]
-            if not step.emit_ntt:
-                ct = self._materialize(ct)
-            vals[step.dst] = Ciphertext(
-                ct.c0.negate(),
-                ct.c1.negate(),
-                scale=ct.scale,
-                noise_bits=ct.noise_bits,
-            )
-            return
-        if kind == "add_plain":
-            ct = vals[step.srcs[0]]
-            pt = step.payload
-            vals[step.dst] = Ciphertext(
-                ct.c0.to_coeff().add(pt.poly.to_coeff()),
-                ct.c1.to_coeff(),
-                scale=ct.scale,
-                noise_bits=ct.noise_bits,
-            )
-            return
-        n_log_half = 0.5 * math.log2(self.ctx.ring_degree)
-        if kind == "multiply_plain":
-            ct = vals[step.srcs[0]]
-            pt, p_ntt = step.payload
-            c0 = ct.c0.to_ntt().pointwise_multiply(p_ntt)
-            c1 = ct.c1.to_ntt().pointwise_multiply(p_ntt)
-            noise = ct.noise_bits + math.log2(pt.scale) + n_log_half
-            vals[step.dst] = self._finish(
-                step, c0, c1, ct.scale * pt.scale, noise
-            )
-            return
-        if kind == "mac":
-            pts, p_ntts = step.payload
-            cts = [vals[s] for s in step.srcs]
-            acc = self._accs[step.level]
-            c0 = RnsPolynomial.multiply_accumulate(
-                [ct.c0.to_ntt() for ct in cts], p_ntts, acc=acc
-            )
-            c1 = RnsPolynomial.multiply_accumulate(
-                [ct.c1.to_ntt() for ct in cts], p_ntts, acc=acc
-            )
-            noise = None
-            for ct, pt in zip(cts, pts):  # mirrors _fused_inner exactly
-                bits = ct.noise_bits + math.log2(pt.scale) + n_log_half
-                noise = bits if noise is None else _combine_bits(noise, bits)
-            vals[step.dst] = self._finish(
-                step, c0, c1, cts[0].scale * pts[0].scale, noise
-            )
-            return
-        if kind == "multiply":
-            a, b = vals[step.srcs[0]], vals[step.srcs[1]]
-            relin, switcher, ks_plan = step.payload
-            acc = self._accs[step.level]
-            a0, a1 = a.c0.to_ntt(), a.c1.to_ntt()
-            b0, b1 = b.c0.to_ntt(), b.c1.to_ntt()
-            t0 = a0.pointwise_multiply(b0)
-            t1 = RnsPolynomial.multiply_accumulate(
-                [a0, a1], [b1, b0], acc=acc
-            )
-            t2 = a1.pointwise_multiply(b1)
-            d0, d1 = switcher.run(t2, relin, ks_plan)
-            c0 = t0.to_coeff().add(d0)
-            c1 = t1.to_coeff().add(d1)
-            noise = _combine_bits(
-                _combine_bits(
-                    a.noise_bits + math.log2(b.scale),
-                    b.noise_bits + math.log2(a.scale),
-                )
-                + n_log_half,
-                self._ks_bits(relin),
-            )
-            vals[step.dst] = self._finish(
-                step, c0, c1, a.scale * b.scale, noise
-            )
-            return
-        if kind == "hoist":
-            gidx, switcher = step.payload
-            src = vals[step.srcs[0]]
-            switcher.hoist(src.c1, out=self._hoist_bufs[gidx])
-            return
-        if kind == "galois":
-            ct = vals[step.srcs[0]]
-            k, ksk, perm, gidx, switcher = step.payload
-            d0, d1 = switcher.run_hoisted(
-                self._hoist_bufs[gidx], ksk, perm=perm
-            )
-            c0 = ct.c0.to_coeff().automorphism(k).add(d0)
-            noise = _combine_bits(ct.noise_bits, self._ks_bits(ksk))
-            vals[step.dst] = self._finish(step, c0, d1, ct.scale, noise)
-            return
-        if kind == "rescale":
-            ct = vals[step.srcs[0]]
-            c0, c1, scale, noise = self._apply_rescales(
-                ct.c0, ct.c1, ct.scale, ct.noise_bits, 1
-            )
-            vals[step.dst] = Ciphertext(
-                c0, c1, scale=scale, noise_bits=noise
-            )
-            return
-        raise ParameterError(  # pragma: no cover - emission is closed
-            f"unknown plan step {kind!r}"
-        )
-
-    # -- pricing -----------------------------------------------------------
-    def cost(self) -> OpCost:
-        """Price one :meth:`run` from the calibratable per-op entries.
-
-        Field-wise sum over the step list: key-switching steps price
-        through :class:`~repro.scheme.cost.SchemeCostModel` (the hoisted
-        split — one shared front per hoist step, one finish per Galois
-        step), linear steps through the polynomial-layer
-        :class:`~repro.poly.cost.CostModel` at the step's level.
-        """
-        method = self.ctx.method
-        n = self.ctx.ring_degree
-        poly_models: dict[int, CostModel] = {}
-        scheme_models: dict[tuple, SchemeCostModel] = {}
-
-        def poly_model(level: int) -> CostModel:
-            m = poly_models.get(level)
-            if m is None:
-                m = CostModel(n, level, method)
-                poly_models[level] = m
-            return m
-
-        def scheme_model(level, num_aux, dnum) -> SchemeCostModel:
-            key = (level, num_aux, dnum)
-            m = scheme_models.get(key)
-            if m is None:
-                m = SchemeCostModel(n, level, num_aux, dnum, method)
-                scheme_models[key] = m
-            return m
-
-        total = OpCost("circuit", method, 0, 0)
-        for s in self._steps:
-            pm = poly_model(s.level)
-            limbs = s.level
-            if s.kind in ("add", "sub", "negate"):
-                total = _merge(total, pm.add().scaled(2))
-            elif s.kind == "add_plain":
-                total = _merge(total, pm.add())
-            elif s.kind == "multiply_plain":
-                total = _merge(total, pm.ntt().scaled(2 * limbs))
-                total = _merge(total, pm.pointwise().scaled(2 * limbs))
-                if not s.emit_ntt:
-                    total = _merge(total, pm.intt().scaled(2 * limbs))
-            elif s.kind == "mac":
-                terms = len(s.srcs)
-                total = _merge(total, pm.ntt().scaled(2 * terms * limbs))
-                total = _merge(
-                    total, pm.multiply_accumulate(terms).scaled(2)
-                )
-                if not s.emit_ntt:
-                    total = _merge(total, pm.intt().scaled(2 * limbs))
-            elif s.kind == "multiply":
-                relin = s.payload[0]
-                sm = scheme_model(s.level, relin.num_aux, relin.dnum)
-                total = _merge(total, sm.hmult())
-            elif s.kind == "hoist":
-                switcher = s.payload[1]
-                sm = scheme_model(s.level, len(switcher.aux), switcher.dnum)
-                total = _merge(total, sm.ks_shared())
-            elif s.kind == "galois":
-                ksk = s.payload[1]
-                sm = scheme_model(s.level, ksk.num_aux, ksk.dnum)
-                total = _merge(total, sm.ks_finish())
-                total = _merge(total, pm.automorphism("ntt"))
-                total = _merge(total, pm.automorphism("coeff"))
-                total = _merge(total, pm.add())
-            elif s.kind == "rescale":
-                total = _merge(total, pm.rescale().scaled(2))
-            # input steps are free
-            for _ in range(s.rescales):
-                total = _merge(total, poly_model(limbs).rescale().scaled(2))
-                limbs -= 1
-        return total
+def __getattr__(name: str):
+    try:
+        value = getattr(_circuit, name)
+    except AttributeError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    if name in _DEPRECATED:
+        warn_once(f"repro.scheme.circuit.{name}", _DEPRECATED[name])
+    return value

@@ -70,7 +70,7 @@ def validate_rotations(
     """Reject zero, out-of-range, and duplicate rotation indices up front.
 
     Shared by :meth:`Evaluator.rotate_hoisted` and
-    :meth:`~repro.scheme.linalg.SlotLinalg.matvec` so a bad rotation
+    :meth:`~repro.scheme._linalg.SlotLinalg.matvec` so a bad rotation
     list fails with a :class:`ParameterError` naming the offending
     index, instead of deep inside the automorphism table lookup.
     Duplicates are detected modulo ``num_slots`` (two indices that
@@ -111,6 +111,10 @@ class Evaluator:
             :meth:`rotate_hoisted`.
         sigma: RLWE error width used by :meth:`encrypt` (and by the
             noise estimates).
+        key_source: optional :class:`KeyGenerator` the evaluator derives
+            *below-keygen-level* switching keys from (lazily, cached in
+            the generator).  Without it, key switching after a rescale
+            raises :class:`~repro.errors.KeyError_` as before.
     """
 
     def __init__(
@@ -120,10 +124,12 @@ class Evaluator:
         relin_key: KeySwitchKey | None = None,
         galois_keys: dict[int, KeySwitchKey] | None = None,
         sigma: float = DEFAULT_SIGMA,
+        key_source: KeyGenerator | None = None,
     ) -> None:
         self.ctx = ctx
         self.relin_key = relin_key
         self.galois_keys = dict(galois_keys or {})
+        self.key_source = key_source
         self.sigma = float(sigma)
         # Fresh-encryption noise: |v*e + e0 + e1*s| with ternary v, s —
         # ~ sigma * sqrt(2N) spread, padded by 8x for the tail.
@@ -145,6 +151,7 @@ class Evaluator:
             relin_key=keygen.relinearization_key(),
             galois_keys=keygen.galois_keys(rotations, conjugate=conjugate),
             sigma=keygen.sigma,
+            key_source=keygen,
         )
 
     # -- encryption --------------------------------------------------------
@@ -203,8 +210,39 @@ class Evaluator:
             raise KeyError_(
                 f"{op}: key was generated for a {len(ksk.base_primes)}-limb "
                 f"basis but the ciphertext sits at level {ct.level}; "
-                "key switching below the keygen level is not supported yet"
+                "key switching below the keygen level needs a key_source "
+                "(Evaluator.from_keygen wires one)"
             )
+
+    def _relin_for(self, ct: Ciphertext, op: str) -> KeySwitchKey:
+        """The ``s^2 -> s`` key at the operand's level.
+
+        The keygen-level key is used directly; below it, the key is
+        derived (once, cached) from ``key_source``.
+        """
+        ksk = self.relin_key
+        if ksk is None:
+            raise KeyError_(
+                f"{op} requires a relinearization key "
+                "(KeyGenerator.relinearization_key)"
+            )
+        if ksk.base_primes != ct.ctx.primes and self.key_source is not None:
+            ksk = self.key_source.relinearization_key(ct.ctx)
+        self._check_key_level(ksk, ct, op)
+        return ksk
+
+    def _galois_for(self, k: int, ct: Ciphertext, op: str) -> KeySwitchKey:
+        """The ``sigma_k(s) -> s`` key at the operand's level.
+
+        The rotation set stays an up-front contract: element ``k`` must
+        be among the configured ``galois_keys`` even when the actual key
+        is derived at a lower level.
+        """
+        ksk = self._galois_key_for(k, op)
+        if ksk.base_primes != ct.ctx.primes and self.key_source is not None:
+            ksk = self.key_source.galois_key(k, ct.ctx)
+        self._check_key_level(ksk, ct, op)
+        return ksk
 
     # -- linear ops --------------------------------------------------------
     def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
@@ -275,20 +313,15 @@ class Evaluator:
         relinearization key, scheduled by the existing
         :class:`KeySwitchPlan` (NTT-domain input, coefficient output).
         """
-        if self.relin_key is None:
-            raise KeyError_(
-                "multiply requires a relinearization key "
-                "(KeyGenerator.relinearization_key)"
-            )
         self._check_pair(a, b, "multiply")
-        self._check_key_level(self.relin_key, a, "multiply")
+        relin = self._relin_for(a, "multiply")
         a0, a1 = a.c0.to_ntt(), a.c1.to_ntt()
         b0, b1 = b.c0.to_ntt(), b.c1.to_ntt()
         t0 = a0.pointwise_multiply(b0)
         t1 = RnsPolynomial.multiply_accumulate([a0, a1], [b1, b0])
         t2 = a1.pointwise_multiply(b1)
-        plan = t2.plan_key_switch(self.relin_key, output_domain=COEFF)
-        d0, d1 = t2.key_switch(self.relin_key, plan=plan)
+        plan = t2.plan_key_switch(relin, output_domain=COEFF)
+        d0, d1 = t2.key_switch(relin, plan=plan)
         c0 = t0.to_coeff().add(d0)
         c1 = t1.to_coeff().add(d1)
         noise = _combine_bits(
@@ -297,7 +330,7 @@ class Evaluator:
                 b.noise_bits + math.log2(a.scale),
             )
             + 0.5 * math.log2(a.ctx.ring_degree),
-            self._ks_bits(self.relin_key),
+            self._ks_bits(relin),
         )
         return Ciphertext(c0, c1, scale=a.scale * b.scale, noise_bits=noise)
 
@@ -349,8 +382,7 @@ class Evaluator:
 
     def apply_galois(self, ct: Ciphertext, k: int) -> Ciphertext:
         """``sigma_k`` of the ciphertext, switched back under ``s``."""
-        ksk = self._galois_key_for(k, "apply_galois")
-        self._check_key_level(ksk, ct, "apply_galois")
+        ksk = self._galois_for(k, ct, "apply_galois")
         switcher = ct.ctx.key_switcher(ksk.aux_primes, ksk.dnum)
         hoisted = switcher.hoist(ct.c1.to_coeff())
         return self._finish_galois(ct, switcher, hoisted, k, ksk)
@@ -389,10 +421,9 @@ class Evaluator:
         n = self.ctx.ring_degree
         validate_rotations(rotations, n // 2, "rotate_hoisted")
         elements = [galois_element(r, n) for r in rotations]
-        keys = [self._galois_key_for(k, "rotate_hoisted") for k in elements]
+        keys = [self._galois_for(k, ct, "rotate_hoisted") for k in elements]
         first = keys[0]
-        for k, ksk in zip(elements, keys):
-            self._check_key_level(ksk, ct, "rotate_hoisted")
+        for ksk in keys:
             if (ksk.aux_primes != first.aux_primes or ksk.dnum != first.dnum):
                 raise ParameterError(
                     "rotate_hoisted: all Galois keys must share one "

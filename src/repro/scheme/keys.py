@@ -147,8 +147,11 @@ class KeyGenerator:
     """Seeded generation of the full key set for one parameter choice.
 
     Args:
-        ctx: the top-level :class:`PolyContext` (keys are generated at
-            the full limb basis; key switching below it is a later PR).
+        ctx: the top-level :class:`PolyContext`.  Keys default to the
+            full limb basis; :meth:`relinearization_key` /
+            :meth:`galois_key` also derive keys for any rescaled prefix
+            of it (pass the lower context), so key switching keeps
+            working after rescales.
         aux_primes: the auxiliary P-part primes for hybrid key switching
             (e.g. ``PrimePool.extension_basis``).
         dnum: hybrid key-switching digit count.
@@ -180,8 +183,11 @@ class KeyGenerator:
             sample_ternary(rng, ctx.ring_degree, hamming_weight=hamming_weight)
         )
         self.public = self._public_key()
-        self._relin: KeySwitchKey | None = None
-        self._galois: dict[int, KeySwitchKey] = {}
+        # Caches keyed by the (level) prime basis the key lives at, so
+        # the same generator serves the keygen level and every rescaled
+        # prefix without re-deriving.
+        self._relin: dict[tuple, KeySwitchKey] = {}
+        self._galois: dict[tuple, KeySwitchKey] = {}
 
     def _public_key(self) -> PublicKey:
         ctx = self.ctx
@@ -190,22 +196,48 @@ class KeyGenerator:
         b = e.sub(a.multiply(self.secret.poly(ctx)))
         return PublicKey(b, a)
 
-    def switching_key(self, source_coeffs) -> KeySwitchKey:
+    def _level_ctx(self, ctx: PolyContext | None) -> PolyContext:
+        """Validate a requested key level: a prefix of the keygen basis."""
+        if ctx is None or ctx is self.ctx:
+            return self.ctx
+        top = self.ctx
+        if (
+            ctx.ring_degree != top.ring_degree
+            or ctx.method != top.method
+            or ctx.primes != top.primes[: ctx.num_limbs]
+        ):
+            reason = top.mismatch_reason(ctx) or "not a rescaled prefix"
+            raise ParameterError(
+                f"cannot derive keys for a foreign context: {reason}"
+            )
+        if ctx.num_limbs < self.dnum:
+            raise ParameterError(
+                f"cannot derive dnum={self.dnum} switching keys at level "
+                f"{ctx.num_limbs}: fewer live limbs than digits"
+            )
+        return ctx
+
+    def switching_key(
+        self, source_coeffs, *, ctx: PolyContext | None = None
+    ) -> KeySwitchKey:
         """A hybrid key-switching key moving ``s'``-decryptions under ``s``.
 
         ``source_coeffs`` are the integer coefficients of the source
         secret ``s'`` (small: ``s^2`` or an automorphism of ``s``); the
         returned :class:`KeySwitchKey` plugs straight into
         ``RnsPolynomial.key_switch`` / ``KeySwitcher.run_hoisted``.
+        ``ctx`` selects the live basis the key serves (default: the
+        keygen level; pass a rescaled prefix context for lower levels).
         """
-        ext = self.ext_ctx
-        n = self.ctx.ring_degree
-        big_q = self.ctx.modulus
+        base = self._level_ctx(ctx)
+        ext = base.extend(self.aux)
+        n = base.ring_degree
+        big_q = base.modulus
         sp = lift_signed(ext, source_coeffs)
         s_ext = self.secret.poly(ext)
         pairs = []
-        for lo, hi in digit_ranges(self.ctx.num_limbs, self.dnum):
-            d_mod = math.prod(self.ctx.primes[lo:hi])
+        for lo, hi in digit_ranges(base.num_limbs, self.dnum):
+            d_mod = math.prod(base.primes[lo:hi])
             d_hat = big_q // d_mod
             g = d_hat * pow(d_hat, -1, d_mod)  # CRT basis of digit d
             consts = np.array(
@@ -221,33 +253,42 @@ class KeyGenerator:
             pairs.append((b.to_ntt(), a.to_ntt()))
         return KeySwitchKey(ext, len(self.aux), pairs)
 
-    def relinearization_key(self) -> KeySwitchKey:
-        """The ``s^2 -> s`` switching key (cached).
+    def relinearization_key(
+        self, ctx: PolyContext | None = None
+    ) -> KeySwitchKey:
+        """The ``s^2 -> s`` switching key (cached per level).
 
         ``s^2`` is computed exactly as the integer negacyclic square of
         the ternary secret (coefficients bounded by N, so plain int64
         convolution is exact).
         """
-        if self._relin is None:
+        base = self._level_ctx(ctx)
+        ksk = self._relin.get(tuple(base.primes))
+        if ksk is None:
             s = self.secret.coeffs
             n = self.ctx.ring_degree
             full = np.convolve(s, s)
             s2 = full[:n].copy()
             s2[: n - 1] -= full[n:]  # X^N = -1 wrap
-            self._relin = self.switching_key(s2)
-        return self._relin
+            ksk = self.switching_key(s2, ctx=base)
+            self._relin[tuple(base.primes)] = ksk
+        return ksk
 
-    def galois_key(self, k: int) -> KeySwitchKey:
-        """The ``sigma_k(s) -> s`` switching key (cached per element)."""
+    def galois_key(
+        self, k: int, ctx: PolyContext | None = None
+    ) -> KeySwitchKey:
+        """The ``sigma_k(s) -> s`` switching key (cached per element/level)."""
         n = self.ctx.ring_degree
         k %= 2 * n
-        ksk = self._galois.get(k)
+        base = self._level_ctx(ctx)
+        cache_key = (k, tuple(base.primes))
+        ksk = self._galois.get(cache_key)
         if ksk is None:
             src, neg, _ = automorphism_tables(n, k)
             sp = self.secret.coeffs[src].copy()
             sp[neg] = -sp[neg]
-            ksk = self.switching_key(sp)
-            self._galois[k] = ksk
+            ksk = self.switching_key(sp, ctx=base)
+            self._galois[cache_key] = ksk
         return ksk
 
     def rotation_key(self, rotation: int) -> KeySwitchKey:

@@ -1,441 +1,32 @@
-"""Slot-wise linear-algebra workloads over encrypted SIMD vectors.
+"""Deprecated import path: the module moved to ``repro.scheme._linalg``.
 
-The paper-shaped workload layer on top of the canonical-embedding
-encoder and the homomorphic evaluator: element-wise plaintext-vector
-products, the Halevi–Shoup diagonal matrix-vector product in
-baby-step/giant-step form, and BSGS (Paterson–Stockmeyer) polynomial
-evaluation of encrypted inputs.
-
-Scheduling — the parts that are not textbook:
-
-* ``matvec`` factors the ``dim`` diagonals as ``d = g*bs + b`` and
-  computes ``sum_g rot_{g*bs}( sum_b diag'_{g,b} ⊙ rot_b(ct) )``.  The
-  fast path pays **one** shared ModUp for the whole baby front
-  (:meth:`Evaluator.rotate_hoisted`), reuses the rotated ciphertexts
-  across every giant step, and fuses each giant step's inner sum through
-  one NTT-domain :meth:`RnsPolynomial.multiply_accumulate` per component
-  (one inverse transform per giant step instead of one per diagonal); a
-  giant step then costs exactly one more key switch.  The naive
-  composition (:meth:`matvec_naive`) evaluates the *same* formula one
-  diagonal at a time — an independent rotation, a plaintext multiply and
-  an accumulate per diagonal.  Because hoisted rotations are
-  bit-identical to independent ones and the NTT is linear over each
-  limb's modular ring, the two paths produce **bit-identical**
-  ciphertexts — the benchmark asserts this before timing, so the fast
-  path cannot drift semantically.
-* ``poly_eval`` evaluates ``p(x) = sum_k c_k x^k`` slot-wise with the
-  baby/giant power split and *scale stacking*: no rescaling happens, so
-  every product stays at the keygen level (key switching below it is
-  not supported yet) and ``x^k`` carries scale ``Delta^k``.  The scalar
-  coefficients absorb the imbalance — ``c_{g*bs+b}`` is encoded at
-  ``Delta^(bs*gs - g*bs - b)`` so every giant-step term lands at the
-  common output scale ``Delta^(bs*gs)`` (the encoder's exact big-int
-  path handles the huge constants).  The scale budget
-  ``bs*gs*log2(Delta)`` must fit under ``log2(Q) - 1``; a
-  :class:`ParameterError` names the shortfall otherwise.  The fast path
-  computes each power of ``x`` once through a balanced halving tree; the
-  naive composition re-derives the *same* tree for every monomial, so
-  the two stay bit-identical while the fast path wins on reuse.
+:class:`~repro.scheme._linalg.SlotLinalg` is internal as of the PR 10
+API redesign — user programs reach the slot workloads through
+:class:`repro.context.CkksContext` (``cc.matvec`` / ``cc.poly_eval`` /
+``cc.multiply_vector`` / ``cc.add_vector`` / ``cc.compile``).  This
+shim keeps the old path importable for one release, warning once per
+name; :func:`~repro.scheme._linalg.bsgs_split` stays a silent re-export
+(it is a pure scheduling helper with no better public home yet).
 """
 
 from __future__ import annotations
 
-import math
-from collections.abc import Callable, Sequence
+from repro._compat import warn_once
+from repro.scheme import _linalg
+from repro.scheme._linalg import bsgs_split  # noqa: F401  (still public)
 
-import numpy as np
-
-from repro.errors import ParameterError
-from repro.poly.rns_poly import COEFF, RnsPolynomial
-from repro.scheme.ciphertext import Ciphertext, Plaintext
-from repro.scheme.encoder import CanonicalEncoder
-from repro.scheme.evaluator import Evaluator, _combine_bits, validate_rotations
+_DEPRECATED = {
+    "SlotLinalg": "CkksContext (cc.matvec / cc.poly_eval / cc.compile)",
+}
 
 
-def bsgs_split(count: int) -> tuple[int, int]:
-    """Balanced ``(baby, giant)`` split with ``baby * giant >= count``."""
-    if count < 1:
-        raise ParameterError(f"BSGS needs a positive term count, got {count}")
-    baby = math.isqrt(count)
-    if baby * baby < count:
-        baby += 1
-    giant = -(-count // baby)
-    return baby, giant
-
-
-class SlotLinalg:
-    """Slot-wise workloads bound to one (encoder, evaluator) pair.
-
-    Args:
-        encoder: the canonical-embedding encoder (fixes the ring and the
-            slot orbit).
-        evaluator: the homomorphic evaluator; needs Galois keys for the
-            rotation indices :meth:`matvec_rotations` reports before
-            :meth:`matvec` can run.
-    """
-
-    def __init__(self, encoder: CanonicalEncoder, evaluator: Evaluator):
-        reason = encoder.ctx.mismatch_reason(evaluator.ctx)
-        if reason is not None:
-            raise ParameterError(f"encoder vs evaluator context: {reason}")
-        self.encoder = encoder
-        self.ev = evaluator
-        self.ctx = evaluator.ctx
-
-    # -- element-wise vector ops -------------------------------------------
-    def multiply_vector(
-        self, ct: Ciphertext, vector, *, scale: float | None = None
-    ) -> Ciphertext:
-        """Slot-wise product with a plaintext vector.
-
-        The vector's length is its slot count (it must divide ``N/2``);
-        the plaintext is encoded at ``scale`` (default: the ciphertext's
-        own scale, so one rescale restores the level-entry scale).
-        """
-        vector = np.asarray(vector, dtype=np.complex128).ravel()
-        pt = self.encoder.encode(
-            vector,
-            ct.scale if scale is None else scale,
-            num_slots=vector.size,
-        )
-        return self.ev.multiply_plain(ct, pt)
-
-    def add_vector(self, ct: Ciphertext, vector) -> Ciphertext:
-        """Slot-wise sum with a plaintext vector (encoded at ct's scale)."""
-        vector = np.asarray(vector, dtype=np.complex128).ravel()
-        pt = self.encoder.encode(vector, ct.scale, num_slots=vector.size)
-        return self.ev.add_plain(ct, pt)
-
-    # -- BSGS diagonal matrix-vector product -------------------------------
-    @staticmethod
-    def matvec_rotations(dim: int, *, baby_steps: int | None = None) -> list[int]:
-        """Rotation indices a ``dim``-slot matvec needs Galois keys for."""
-        bs, gs = (
-            bsgs_split(dim)
-            if baby_steps is None
-            else (baby_steps, -(-dim // baby_steps))
-        )
-        return list(range(1, bs)) + [g * bs for g in range(1, gs)]
-
-    def _check_matrix(self, matrix) -> tuple[np.ndarray, int]:
-        matrix = np.asarray(matrix, dtype=np.complex128)
-        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
-            raise ParameterError(
-                f"matvec needs a square matrix, got shape {matrix.shape}"
-            )
-        dim = Plaintext.validate_slots(self.encoder.n, matrix.shape[0])
-        return matrix, dim
-
-    def matvec(
-        self,
-        ct: Ciphertext,
-        matrix,
-        *,
-        baby_steps: int | None = None,
-        scale: float | None = None,
-    ) -> Ciphertext:
-        """BSGS diagonal matvec: hoisted baby front + fused inner MACs.
-
-        Decodes to ``matrix @ slots`` at scale ``ct.scale * pt_scale``.
-        Bit-identical to :meth:`matvec_naive` by construction.
-        """
-        matrix, dim = self._check_matrix(matrix)
-        bs = bsgs_split(dim)[0] if baby_steps is None else int(baby_steps)
-        babies: dict[int, Ciphertext] = {0: ct}
-        if bs > 1:
-            babies.update(self.ev.rotate_hoisted(ct, list(range(1, bs))))
-        return self._matvec(ct, matrix, dim, bs, scale, babies.__getitem__, fused=True)
-
-    def matvec_naive(
-        self,
-        ct: Ciphertext,
-        matrix,
-        *,
-        baby_steps: int | None = None,
-        scale: float | None = None,
-    ) -> Ciphertext:
-        """The per-diagonal composition: one independent rotation, one
-        plaintext multiply and one accumulate per matrix diagonal
-        (the reference the benchmark times the fast path against)."""
-        matrix, dim = self._check_matrix(matrix)
-        bs = bsgs_split(dim)[0] if baby_steps is None else int(baby_steps)
-
-        def baby(b: int) -> Ciphertext:
-            return ct if b == 0 else self.ev.rotate(ct, b)
-
-        return self._matvec(ct, matrix, dim, bs, scale, baby, fused=False)
-
-    # -- compiled circuits --------------------------------------------------
-    def _trace(self):
-        """A tracer twin of this helper: same encoder, recording evaluator."""
-        from repro.scheme.circuit import CircuitTracer
-
-        tracer = CircuitTracer(self.ev)
-        return tracer, SlotLinalg(self.encoder, tracer)
-
-    def compile_matvec(
-        self,
-        matrix,
-        *,
-        input_scale: float,
-        baby_steps: int | None = None,
-        scale: float | None = None,
-    ):
-        """Compile the BSGS matvec into a reusable :class:`CircuitPlan`.
-
-        Traces the per-diagonal composition (:meth:`matvec_naive`) and
-        lets the planner rediscover the fast path — the hoisted baby
-        front and the fused inner MACs fall out of the generic hoist
-        grouping and MAC-fusion passes — so the plan is bit-identical to
-        both eager variants while also capturing every diagonal encoding
-        and key-switch schedule ahead of time.  ``plan.run(ct)`` then
-        applies the matrix to any ciphertext arriving at ``input_scale``.
-        """
-        tracer, traced_lin = self._trace()
-        x = tracer.input("x", scale=input_scale)
-        out = traced_lin.matvec_naive(
-            x, matrix, baby_steps=baby_steps, scale=scale
-        )
-        return tracer.compile(out)
-
-    def compile_poly_eval(
-        self,
-        coeffs: Sequence[float],
-        *,
-        input_scale: float,
-        baby_steps: int | None = None,
-    ):
-        """Compile BSGS polynomial evaluation into a :class:`CircuitPlan`.
-
-        The tracer's hash-consing plays the role of the eager power
-        cache — every power of ``x`` traces to one node no matter how
-        many terms use it — and the scale-stacked constant encodings are
-        captured (and NTT-prepared) once at compile time.
-        """
-        tracer, traced_lin = self._trace()
-        x = tracer.input("x", scale=input_scale)
-        out = traced_lin.poly_eval(x, coeffs, baby_steps=baby_steps)
-        return tracer.compile(out)
-
-    def _matvec(
-        self,
-        ct: Ciphertext,
-        matrix: np.ndarray,
-        dim: int,
-        bs: int,
-        scale: float | None,
-        baby: Callable[[int], Ciphertext],
-        *,
-        fused: bool,
-    ) -> Ciphertext:
-        if bs < 1:
-            raise ParameterError(f"baby-step count must be >= 1, got {bs}")
-        validate_rotations(
-            self.matvec_rotations(dim, baby_steps=bs), dim, "matvec"
-        )
-        pt_scale = ct.scale if scale is None else float(scale)
-        gs = -(-dim // bs)
-        n = self.ctx.ring_degree
-        acc: Ciphertext | None = None
-        for g in range(gs):
-            terms: list[tuple[Ciphertext, Plaintext]] = []
-            for b in range(bs):
-                d = g * bs + b
-                if d >= dim:
-                    break
-                # rot_{-g*bs} of diagonal d, so the giant rotation at the
-                # end of the group realigns every product at once.
-                diag = matrix[np.arange(dim), (np.arange(dim) + d) % dim]
-                pt = self.encoder.encode(np.roll(diag, g * bs), pt_scale, num_slots=dim)
-                terms.append((baby(b), pt))
-            if not terms:
-                continue
-            if fused and len(terms) > 1:
-                inner = self._fused_inner(terms, n)
-            else:
-                inner = None
-                for baby_ct, pt in terms:
-                    t = self.ev.multiply_plain(baby_ct, pt)
-                    inner = t if inner is None else self.ev.add(inner, t)
-            if g:
-                inner = self.ev.rotate(inner, g * bs)
-            acc = inner if acc is None else self.ev.add(acc, inner)
-        assert acc is not None  # dim >= 1 guarantees at least one term
-        return acc
-
-    def _fused_inner(
-        self, terms: Sequence[tuple[Ciphertext, Plaintext]], n: int
-    ) -> Ciphertext:
-        """One giant step's inner sum as two fused NTT-domain MACs.
-
-        ``sum_b pt_b ⊙ baby_b`` per component through a single
-        :meth:`RnsPolynomial.multiply_accumulate` and **one** inverse
-        transform, instead of an inverse per diagonal.  Exactly equal to
-        the multiply-then-add chain because every step is the same
-        modular arithmetic — the NTT is linear over each limb's ring and
-        the lazy accumulator folds to the same canonical residues.
-        """
-        pts = [pt.poly.to_ntt() for _, pt in terms]
-        c0 = RnsPolynomial.multiply_accumulate(
-            [baby.c0.to_ntt() for baby, _ in terms], pts
-        ).to_coeff()
-        c1 = RnsPolynomial.multiply_accumulate(
-            [baby.c1.to_ntt() for baby, _ in terms], pts
-        ).to_coeff()
-        noise = None
-        for baby, pt in terms:  # mirrors multiply_plain's estimate
-            bits = baby.noise_bits + math.log2(pt.scale) + 0.5 * math.log2(n)
-            noise = bits if noise is None else _combine_bits(noise, bits)
-        return Ciphertext(
-            c0,
-            c1,
-            scale=terms[0][0].scale * terms[0][1].scale,
-            noise_bits=noise,
-        )
-
-    # -- BSGS polynomial evaluation ----------------------------------------
-    def poly_eval(
-        self,
-        ct: Ciphertext,
-        coeffs: Sequence[float],
-        *,
-        baby_steps: int | None = None,
-    ) -> Ciphertext:
-        """``p(ct)`` slot-wise, with cached baby/giant powers."""
-        return self._poly_eval(ct, coeffs, baby_steps, cached=True)
-
-    def poly_eval_naive(
-        self,
-        ct: Ciphertext,
-        coeffs: Sequence[float],
-        *,
-        baby_steps: int | None = None,
-    ) -> Ciphertext:
-        """The per-monomial composition: every power of ``x`` re-derived
-        through the same balanced tree for every term it appears in."""
-        return self._poly_eval(ct, coeffs, baby_steps, cached=False)
-
-    def _poly_eval(
-        self,
-        ct: Ciphertext,
-        coeffs: Sequence[float],
-        baby_steps: int | None,
-        *,
-        cached: bool,
-    ) -> Ciphertext:
-        coeffs = [float(c) for c in coeffs]
-        while coeffs and coeffs[-1] == 0.0:
-            coeffs.pop()
-        if len(coeffs) < 2 or not any(coeffs[1:]):
-            raise ParameterError(
-                "poly_eval needs a nonzero coefficient of degree >= 1 "
-                "(plain constants need no ciphertext)"
-            )
-        bs, gs = (
-            bsgs_split(len(coeffs))
-            if baby_steps is None
-            else (int(baby_steps), -(-len(coeffs) // int(baby_steps)))
-        )
-        self._check_scale_budget(ct, coeffs, bs * gs)
-        power = self._power_tree(ct, cached=cached)
-        sc = ct.scale
-        acc: Ciphertext | None = None
-        tail = 0.0  # the degree-0 coefficient, folded in at the end
-        for g in range(gs):
-            inner: Ciphertext | None = None
-            for b in range(1, bs):
-                k = g * bs + b
-                if k >= len(coeffs):
-                    break
-                if coeffs[k] == 0.0:
-                    continue
-                pt = self._encode_constant(coeffs[k], sc ** (bs * gs - g * bs - b))
-                t = self.ev.multiply_plain(power(b), pt)
-                inner = t if inner is None else self.ev.add(inner, t)
-            c0 = coeffs[g * bs] if g * bs < len(coeffs) else 0.0
-            if inner is not None:
-                if c0:
-                    inner = self.ev.add_plain(
-                        inner, self._encode_constant(c0, inner.scale)
-                    )
-                term = inner if g == 0 else self.ev.multiply(power(g * bs), inner)
-            elif c0 and g:
-                term = self.ev.multiply_plain(
-                    power(g * bs), self._encode_constant(c0, sc ** (bs * gs - g * bs))
-                )
-            else:
-                tail += c0
-                continue
-            acc = term if acc is None else self.ev.add(acc, term)
-        assert acc is not None  # a degree >= 1 coefficient exists
-        if tail:
-            acc = self.ev.add_plain(acc, self._encode_constant(tail, acc.scale))
-        return acc
-
-    def _power_tree(
-        self, ct: Ciphertext, *, cached: bool
-    ) -> Callable[[int], Ciphertext]:
-        """``x^k`` through a balanced halving tree, optionally cached.
-
-        Both variants walk the *same* tree (``x^k = x^(k - k//2) *
-        x^(k//2)``), so cached and uncached evaluation stay
-        bit-identical; caching only removes the recomputation.
-        """
-        cache: dict[int, Ciphertext] = {1: ct}
-
-        def power(k: int) -> Ciphertext:
-            if k in cache:
-                return cache[k]
-            half = k // 2
-            v = self.ev.multiply(power(k - half), power(half))
-            if cached:
-                cache[k] = v
-            return v
-
-        return power
-
-    def _check_scale_budget(
-        self, ct: Ciphertext, coeffs: Sequence[float], stack: int
-    ) -> None:
-        """Refuse scale stacks that cannot fit under ``Q/2``."""
-        if ct.scale <= 1.0:
-            raise ParameterError(
-                f"poly_eval needs a scale > 1 to stack, got {ct.scale}"
-            )
-        need = stack * math.log2(ct.scale) + math.log2(
-            max(1.0, sum(abs(c) for c in coeffs))
-        )
-        if need > 960:
-            raise ParameterError(
-                f"poly_eval scale stack needs ~{need:.0f} bits, beyond "
-                "float64 scale tracking; lower the degree or the scale"
-            )
-        have = math.log2(self.ctx.modulus) - 1
-        if need + 8 > have:  # ~8 bits of noise/rounding headroom
-            raise ParameterError(
-                f"poly_eval scale budget: Delta^{stack} plus coefficient "
-                f"mass needs ~{need:.0f}+8 bits but log2(Q/2) is only "
-                f"{have:.0f}; lower the degree, the scale, or baby_steps"
-            )
-
-    def _encode_constant(self, c: float, scale: float) -> Plaintext:
-        """Exact slot-constant plaintext: one scaled coefficient at X^0.
-
-        A constant slot vector is a constant polynomial, so the encoding
-        is ``round(c * scale)`` at coefficient 0 — built directly (and
-        exactly, through Python ints when the scale stack exceeds int64)
-        rather than through the float FFT, whose rounding dust would be
-        amplified by the huge stacked scales.
-        """
-        if scale <= 0 or not math.isfinite(scale):
-            raise ParameterError(f"constant scale must be > 0, got {scale}")
-        ci = int(round(c * scale))
-        if 2 * abs(ci) >= self.ctx.modulus:
-            raise ParameterError(
-                f"constant {c} at scale 2^{math.log2(scale):.1f} exceeds Q/2"
-            )
-        ctx = self.ctx
-        limbs = np.zeros((ctx.num_limbs, ctx.ring_degree), dtype=np.uint64)
-        limbs[:, 0] = [ci % q for q in ctx.primes]
-        poly = RnsPolynomial(ctx, limbs, COEFF, scale=float(scale))
-        return Plaintext(poly, slots=self.encoder.slots)
+def __getattr__(name: str):
+    try:
+        value = getattr(_linalg, name)
+    except AttributeError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    if name in _DEPRECATED:
+        warn_once(f"repro.scheme.linalg.{name}", _DEPRECATED[name])
+    return value

@@ -22,7 +22,7 @@ Fault kinds (``KINDS``):
     Flip a bit inside one of the tenant plan's captured constants — the
     backend-*prepared* operand array a pointwise kernel actually reads
     (at :meth:`on_submit`).  Detected pre-dispatch by
-    :meth:`~repro.scheme.circuit.CircuitPlan.fingerprint`; the scheduler
+    :meth:`~repro.scheme._circuit.CircuitPlan.fingerprint`; the scheduler
     rebuilds the plan from the tenant's build function.
 ``bitflip-ct``
     Flip one bit of the batch's input ciphertext limbs from *inside*
@@ -163,9 +163,14 @@ class FaultInjector:
         """
         kind = self.draw(request.id)
         if kind == "corrupt-payload":
-            request.value = float(
-                np.float64(request.value).view(np.uint64) ^ np.uint64(1 << 3)
-            )
+            if np.ndim(request.value) == 0:
+                request.value = float(
+                    np.float64(request.value).view(np.uint64)
+                    ^ np.uint64(1 << 3)
+                )
+            else:  # vector tenant: flip a mantissa bit of element 0 in place
+                bits = request.value.view(np.uint64)
+                bits[0] ^= np.uint64(1 << 3)
             self.injected[kind] += 1
 
     def corrupt_plan(self, plan) -> bool:

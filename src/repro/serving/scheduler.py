@@ -7,12 +7,12 @@ scheduler packs pending same-tenant queries into one shared sparse-packed
 ciphertext (the PR 5 packings: ``s`` slots replicate ``(N/2)/s`` times,
 so ``s`` is the next power of two above the batch size and always
 divides ``N/2``), dispatches the tenant's precompiled
-:class:`~repro.scheme.circuit.CircuitPlan` on an executor thread, and
+:class:`~repro.scheme._circuit.CircuitPlan` on an executor thread, and
 fans the decrypted slots back out to each caller's future.
 
 **Admission control** happens at :meth:`CkksServer.register_tenant`:
 the tenant's circuit is traced, compiled, and pre-flighted through
-:meth:`~repro.scheme.circuit.CircuitPlan.analyze`; a plan whose static
+:meth:`~repro.scheme._circuit.CircuitPlan.analyze`; a plan whose static
 report carries errors (noise budget exhausted, scale mismatch,
 key-level mismatch, ...) is rejected with a structured
 :class:`~repro.errors.AdmissionError` *before* any request can reach
@@ -144,7 +144,7 @@ class ServingConfig:
 
 
 class Request:
-    """One queued single-slot query and its delivery future."""
+    """One queued query (a slot scalar, or a vector-tenant payload)."""
 
     __slots__ = ("id", "tenant", "value", "priority", "deadline",
                  "submitted_at", "future", "payload_fp")
@@ -152,7 +152,10 @@ class Request:
     def __init__(self, rid, tenant, value, priority, deadline, future):
         self.id = rid
         self.tenant = tenant
-        self.value = float(value)
+        if np.ndim(value) == 0:
+            self.value = float(value)
+        else:
+            self.value = np.asarray(value, dtype=np.float64)
         self.priority = int(priority)
         self.deadline = float(deadline)
         self.submitted_at = time.monotonic()
@@ -160,9 +163,22 @@ class Request:
         self.payload_fp = _payload_fp(self.value)
 
 
-def _payload_fp(value: float) -> int:
-    """Bit-exact checksum of a request payload (detects queue corruption)."""
-    return int(np.float64(value).view(np.uint64))
+def _payload_fp(value) -> int:
+    """Bit-exact checksum of a request payload (detects queue corruption).
+
+    Scalars keep the original single-float64 bit view; vector payloads
+    fold every element's bit pattern through an FNV-style hash so any
+    single-bit flip anywhere in the vector changes the checksum.
+    """
+    if np.ndim(value) == 0:
+        return int(np.float64(value).view(np.uint64))
+    bits = np.asarray(value, dtype=np.float64).ravel().view(np.uint64)
+    fp = np.uint64(bits.size)
+    prime = np.uint64(0x100000001B3)
+    with np.errstate(over="ignore"):
+        for b in bits:
+            fp = (fp * prime) ^ b
+    return int(fp)
 
 
 @dataclass
@@ -181,9 +197,10 @@ class _Tenant:
     """Registered tenant: build recipe, live plan, breaker, queue."""
 
     __slots__ = ("name", "build", "scale", "plan", "plan_fp",
-                 "breaker", "queue", "report")
+                 "breaker", "queue", "report", "input_dim")
 
-    def __init__(self, name, build, scale, plan, plan_fp, breaker, report):
+    def __init__(self, name, build, scale, plan, plan_fp, breaker, report,
+                 input_dim=1):
         self.name = name
         self.build = build
         self.scale = float(scale)
@@ -192,6 +209,8 @@ class _Tenant:
         self.breaker = breaker
         self.queue: deque[Request] = deque()
         self.report = report
+        #: slots one request occupies; >1 means one request per batch
+        self.input_dim = int(input_dim)
 
 
 class CkksServer:
@@ -230,7 +249,9 @@ class CkksServer:
         )
 
     # -- admission control -------------------------------------------------
-    def register_tenant(self, name: str, build, *, scale: float) -> None:
+    def register_tenant(self, name: str, build, *,
+                        scale_bits: int | None = None, input_dim: int = 1,
+                        scale: float | None = None) -> None:
         """Admit a tenant circuit, or raise :class:`AdmissionError`.
 
         ``build(tracer, x)`` receives a fresh tracer and its declared
@@ -239,13 +260,54 @@ class CkksServer:
         watchdog fire, so it must be deterministic and self-contained
         (encode constants inside ``build``, at ``num_slots=1`` so they
         replicate uniformly under any batch packing).
+
+        The input scale is ``2**scale_bits`` (default: the context's own
+        ``scale_bits``); the pre-redesign raw-scale ``scale=`` kwarg is
+        accepted with a deprecation warning.  ``input_dim > 1`` admits a
+        vector tenant — each request submits an ``input_dim``-vector
+        packed into one ciphertext (so batches are one request wide) and
+        is delivered the first ``input_dim`` decrypted slots; a compiled
+        model registers as
+        ``register_tenant(name, model.build, scale_bits=model.scale_bits,
+        input_dim=model.dim)``.
         """
+        if scale is not None:
+            from repro._compat import warn_once
+
+            warn_once(
+                "CkksServer.register_tenant(scale=...)", "scale_bits=..."
+            )
+            if scale_bits is not None:
+                raise AdmissionError(
+                    f"tenant {name!r} passed both 'scale_bits' and its "
+                    "deprecated alias 'scale'",
+                    code="conflicting-kwargs", tenant=name,
+                )
+            use_scale = float(scale)
+        else:
+            if scale_bits is None:
+                scale_bits = getattr(self.cc, "scale_bits", 30)
+            use_scale = 2.0 ** int(scale_bits)
         if name in self._tenants:
             raise AdmissionError(
                 f"tenant {name!r} is already registered",
                 code="duplicate-tenant", tenant=name,
             )
-        plan, report = self._compile(name, build, scale)
+        input_dim = int(input_dim)
+        if input_dim < 1 or input_dim & (input_dim - 1):
+            # the vector is the packing, so it must be a legal sparse width
+            raise AdmissionError(
+                f"tenant {name!r} input_dim must be a power of two >= 1, "
+                f"got {input_dim}",
+                code="bad-input-dim", tenant=name,
+            )
+        if input_dim > self._slots_cap():
+            raise AdmissionError(
+                f"tenant {name!r} input_dim={input_dim} exceeds the "
+                f"{self._slots_cap()}-slot packing cap",
+                code="bad-input-dim", tenant=name,
+            )
+        plan, report = self._compile(name, build, use_scale)
         if report.errors:
             summary = "; ".join(str(d) for d in report.errors[:3])
             raise AdmissionError(
@@ -257,11 +319,12 @@ class CkksServer:
             self.config.breaker_threshold, self.config.breaker_cooldown_s
         )
         self._tenants[name] = _Tenant(
-            name, build, scale, plan, plan.fingerprint(), breaker, report
+            name, build, use_scale, plan, plan.fingerprint(), breaker,
+            report, input_dim,
         )
 
     def _compile(self, name: str, build, scale: float):
-        tracer = self.cc.tracer()
+        tracer = self.cc._tracer()
         try:
             out = build(tracer, tracer.input("x", scale=scale))
             plan = tracer.compile(out)
@@ -303,15 +366,26 @@ class CkksServer:
         self._task = None
 
     # -- submission --------------------------------------------------------
-    async def submit(self, tenant: str, value: float, *,
+    async def submit(self, tenant: str, value, *,
                      deadline_s: float | None = None, priority: int = 0):
-        """Enqueue one single-slot query; await its decrypted slot value.
+        """Enqueue one query; await its decrypted result.
+
+        Scalar tenants submit one slot value and are delivered one
+        complex slot; vector tenants (``input_dim > 1``) submit an
+        ``input_dim``-vector and are delivered the ``input_dim``
+        decrypted slots as an array.
 
         Raises the structured :class:`~repro.errors.ServingError`
         subclass naming the failure cause: breaker open, queue full,
         deadline exceeded, retries exhausted, corrupted payload, ...
         """
         t = self._require(tenant)
+        if t.input_dim > 1 and np.shape(value) != (t.input_dim,):
+            raise ServingError(
+                f"tenant {tenant!r} takes a length-{t.input_dim} vector "
+                f"payload, got {np.shape(value)}",
+                code="bad-payload", tenant=tenant,
+            )
         if not t.breaker.allow():
             raise CircuitOpenError(
                 f"tenant {tenant!r} breaker is open after "
@@ -441,7 +515,8 @@ class CkksServer:
         """
         now = time.monotonic()
         batch: list[Request] = []
-        cap = self._slots_cap()
+        # a vector tenant's request owns the whole packing: batches of 1
+        cap = 1 if tenant.input_dim > 1 else self._slots_cap()
         while tenant.queue and len(batch) < cap:
             req = tenant.queue.popleft()
             if req.future.done():
@@ -514,8 +589,12 @@ class CkksServer:
                 self.faults_detected["plan-corruption"] += 1
                 self._rebuild_plan(tenant)
             k = len(batch)
-            s = min(max(1, 1 << (k - 1).bit_length()), self._slots_cap())
-            values = [r.value for r in batch] + [0.0] * (s - k)
+            if tenant.input_dim > 1:
+                s = tenant.input_dim
+                values = batch[0].value
+            else:
+                s = min(max(1, 1 << (k - 1).bit_length()), self._slots_cap())
+                values = [r.value for r in batch] + [0.0] * (s - k)
             ct = self.cc.encrypt(values, scale=tenant.scale, num_slots=s)
             in_fp = ct.fingerprint()
             tag = f"{tenant.name}/b{batch_index}a{attempt}"
@@ -638,7 +717,10 @@ class CkksServer:
                 ))
                 self.metrics["expired"] += 1
                 continue
-            value = complex(vals[slot])
+            if tenant.input_dim > 1:
+                value = np.asarray(vals[: tenant.input_dim])
+            else:
+                value = complex(vals[slot])
             req.future.set_result(value)
             record.delivered.append((req.id, slot, value))
             self.metrics["served"] += 1

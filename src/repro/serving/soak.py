@@ -52,7 +52,8 @@ __all__ = ["build_server", "main", "soak"]
 
 #: encoding scale Delta, matched to the 30-bit rescale primes so one
 #: rescale lands back near Delta with full precision
-SCALE = 2.0**30
+SCALE_BITS = 30
+SCALE = 2.0**SCALE_BITS
 
 
 #: tenant name -> plaintext reference function (the unbatched oracle)
@@ -96,7 +97,7 @@ def make_builds(cc: CkksContext) -> dict:
 
 def build_server(
     *, seed: int, rate: float, watchdog_s: float = 0.5, stall_s: float = 1.0,
-    backend: str | None = None,
+    backend: str | None = None, checked: bool | None = None,
 ) -> CkksServer:
     """A soak-ready server: small ring, two tenants, armed injector.
 
@@ -107,7 +108,7 @@ def build_server(
     """
     cc = CkksContext(
         ring_degree=256, num_main=4, num_aux=3, dnum=2, seed=seed,
-        backend=backend,
+        backend=backend, checked=checked,
     )
     injector = FaultInjector(seed, rate=rate, stall_s=stall_s)
     config = ServingConfig(
@@ -123,7 +124,7 @@ def build_server(
     server = CkksServer(cc, config=config, injector=injector)
     builds = make_builds(cc)
     for name in TENANTS:
-        server.register_tenant(name, builds[name], scale=SCALE)
+        server.register_tenant(name, builds[name], scale_bits=SCALE_BITS)
     return server
 
 
@@ -131,7 +132,8 @@ def _check_admission(server: CkksServer) -> str:
     """Admission control must reject the over-deep tenant; return its code."""
     try:
         server.register_tenant(
-            "too-deep", make_builds(server.cc)["too-deep"], scale=SCALE
+            "too-deep", make_builds(server.cc)["too-deep"],
+            scale_bits=SCALE_BITS,
         )
     except AdmissionError as exc:
         return exc.code
@@ -162,9 +164,10 @@ def soak(
     spread_s: float = 2.0,
     timeout_s: float = 300.0,
     backend: str | None = None,
+    checked: bool | None = None,
 ) -> dict:
     """Run the full soak; return the report dict; raise on any violation."""
-    server = build_server(seed=seed, rate=rate, backend=backend)
+    server = build_server(seed=seed, rate=rate, backend=backend, checked=checked)
     admission_code = _check_admission(server)
     specs = draw_specs(
         tenants=sorted(TENANTS),
@@ -194,6 +197,7 @@ def soak(
         "seed": seed,
         "fault_rate": rate,
         "backend": server.backend,
+        "checked": bool(getattr(server.cc, "checked", False)),
         "delivered": report.delivered,
         "rejected": dict(report.rejected),
         "unstructured_failures": report.unstructured,
@@ -251,10 +255,14 @@ def main(argv=None) -> int:
                         choices=("numpy", "sharded", "compiled"),
                         help="kernel execution tier (default: REPRO_BACKEND "
                              "or numpy)")
+    parser.add_argument("--checked", action="store_true", default=None,
+                        help="run under sanitizer-checked execution "
+                             "(default: REPRO_CHECKED)")
     args = parser.parse_args(argv)
     summary = soak(
         requests=args.requests, seed=args.seed, rate=args.rate,
         spread_s=args.spread, timeout_s=args.timeout, backend=args.backend,
+        checked=args.checked,
     )
     if args.json:
         with open(args.json, "w") as fh:

@@ -23,15 +23,15 @@ from repro.poly.rns_poly import PolyContext
 from repro.rns.primes import PrimePool
 from repro.scheme import (
     CircuitPlan,
-    CircuitTracer,
     Evaluator,
     KeyGenerator,
     Plaintext,
     galois_element,
 )
+from repro.scheme._circuit import CircuitTracer
 from repro.scheme.encoder import CanonicalEncoder
 from repro.scheme.evaluator import validate_rotations
-from repro.scheme.linalg import SlotLinalg
+from repro.scheme._linalg import SlotLinalg
 
 METHODS = ("barrett", "montgomery", "shoup", "smr")
 SCALE = 2.0**20
@@ -456,7 +456,7 @@ class TestCkksContext:
             ring_degree=256, num_main=4, num_aux=5, dnum=2, seed=3,
             rotations=(2,),
         )
-        tracer = cc.tracer()
+        tracer = cc._tracer()
         x = tracer.input("x", scale=2.0**20)
         plan = tracer.compile(tracer.rotate(x, 2))
         ct = cc.encrypt([0.25] * cc.num_slots, scale=2.0**20)

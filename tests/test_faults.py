@@ -24,7 +24,8 @@ from repro.serving import (
 from repro.serving.loadgen import draw_specs, run_load
 from repro.serving.soak import build_server, make_builds, soak
 
-SCALE = 2.0**30
+SCALE_BITS = 30
+SCALE = 2.0**SCALE_BITS
 
 
 @pytest.fixture(scope="module")
@@ -47,8 +48,8 @@ def make_server(cc, injector, **overrides) -> CkksServer:
     server = CkksServer(cc, config=ServingConfig(**defaults),
                         injector=injector)
     builds = make_builds(cc)
-    server.register_tenant("affine", builds["affine"], scale=SCALE)
-    server.register_tenant("square", builds["square"], scale=SCALE)
+    server.register_tenant("affine", builds["affine"], scale_bits=SCALE_BITS)
+    server.register_tenant("square", builds["square"], scale_bits=SCALE_BITS)
     return server
 
 

@@ -22,9 +22,9 @@ from repro.scheme import (
     KeyGenerator,
     ReferenceEvaluator,
     SchemeCostModel,
-    SlotLinalg,
     bsgs_split,
 )
+from repro.scheme._linalg import SlotLinalg
 
 METHODS = ("barrett", "montgomery", "shoup", "smr")
 SCALE = 2.0**30

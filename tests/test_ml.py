@@ -1,0 +1,255 @@
+"""Encrypted ML inference (PR 10): fitter, planner, and the e2e gate.
+
+Three layers of guarantees:
+
+* the Chebyshev fitter's reported ``max_error`` is an honest bound —
+  re-measured here against the exact numpy reference on a fresh dense
+  grid, and monotone non-increasing in degree;
+* the level planner places **every** rescale (the model path hand-places
+  none) and statically rejects undeployable depth/scale combinations
+  with :class:`~repro.errors.ModelPlanError` diagnostics that name the
+  layer and the failing budget;
+* the end-to-end gate: encrypted and plaintext twins agree on the
+  bundled iris data (>= 98% on the held-out split), and a compiled
+  model admits into the serving layer as a vector tenant.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelPlanError, ParameterError
+from repro.ml import (
+    AGREEMENT_THRESHOLD,
+    DenseLayer,
+    LevelPlanner,
+    agreement,
+    compile_model,
+    fit_activation,
+    load_iris,
+    load_iris_split,
+    logistic_regression,
+    mlp,
+    run_e2e,
+)
+from repro.ml.chebyshev import ACTIVATIONS
+
+CTX_KW = dict(
+    ring_degree=256, num_main=10, num_aux=7, dnum=2, seed=0,
+    rotations=(1, 2),
+)
+
+
+@pytest.fixture(scope="module")
+def cc():
+    from repro import CkksContext
+
+    return CkksContext(**CTX_KW)
+
+
+@pytest.fixture(scope="module")
+def split():
+    return load_iris_split(seed=0)
+
+
+# -- bundled dataset ---------------------------------------------------------
+
+def test_iris_loads_and_splits():
+    x, y = load_iris()
+    assert x.shape == (150, 4) and y.shape == (150,)
+    assert set(np.unique(y)) == {0, 1, 2}
+    s = load_iris_split(seed=3)
+    assert s.x_train.shape[0] + s.x_test.shape[0] == 150
+    # standardized by train stats only
+    assert np.allclose(s.x_train.mean(axis=0), 0.0, atol=1e-9)
+    assert np.allclose(s.x_train.std(axis=0), 1.0, atol=1e-9)
+    # deterministic in the seed
+    s2 = load_iris_split(seed=3)
+    assert np.array_equal(s.x_test, s2.x_test)
+    assert not np.array_equal(
+        s.x_test, load_iris_split(seed=4).x_test
+    )
+
+
+# -- Chebyshev fitter --------------------------------------------------------
+
+@pytest.mark.parametrize("name", ["sigmoid", "relu"])
+@pytest.mark.parametrize("degree", [3, 5, 8])
+def test_fit_max_error_bound_holds_on_fresh_grid(name, degree):
+    """The reported max_error bounds the true error over the interval."""
+    interval = (-4.0, 4.0)
+    fit = fit_activation(name, degree, interval=interval)
+    ref = ACTIVATIONS[name]
+    # denser grid, different phase than the fitter's own measurement grid
+    x = np.linspace(*interval, 7919)
+    measured = float(np.max(np.abs(fit(x) - ref(x))))
+    assert measured <= fit.max_error * 1.01 + 1e-12
+    assert fit.max_error < 1.0
+    assert np.allclose(fit.reference(x), ref(x))
+
+
+@pytest.mark.parametrize("name", ["sigmoid", "relu"])
+def test_fit_error_monotone_in_degree(name):
+    errs = [
+        fit_activation(name, d, interval=(-6.0, 6.0)).max_error
+        for d in (2, 4, 8, 12)
+    ]
+    assert all(a >= b - 1e-12 for a, b in zip(errs, errs[1:]))
+    # and the depth buys real accuracy, not noise
+    assert errs[-1] < 0.5 * errs[0]
+
+
+def test_fit_rejects_bad_requests():
+    with pytest.raises(ParameterError):
+        fit_activation("tanhh", 4)
+    with pytest.raises(ParameterError):
+        fit_activation("relu", 0)
+    with pytest.raises(ParameterError):
+        fit_activation("relu", 99)
+    with pytest.raises(ParameterError):
+        fit_activation("relu", 4, interval=(2.0, -2.0))
+
+
+# -- level planner -----------------------------------------------------------
+
+def test_model_path_places_every_rescale(cc, split):
+    """Zero hand-placed rescales: the planner owns all of them."""
+    y = (split.y_train == 2).astype(np.int64)
+    model = logistic_regression(cc, split.x_train, y, degree=5)
+    planned = model.placed_rescales
+    in_plan = sum(
+        1 for step in model.plan._steps if step.kind == "rescale"
+    )
+    assert planned > 0
+    assert in_plan == planned
+    assert model.report.ok
+
+
+def test_planner_rejects_terminal_swap_scale(cc, split):
+    """2^40 admits a rescaling cycle, but one that swaps terminal
+    primes — undeployable on the prefix limb layout, said by name."""
+    y = (split.y_train == 2).astype(np.int64)
+    with pytest.raises(ModelPlanError, match="terminal-prime swaps"):
+        logistic_regression(cc, split.x_train, y, degree=3, scale_bits=40)
+
+
+def test_planner_rejects_cycleless_scale(cc, split):
+    """2^41 admits no rescaling cycle at all: the other static path."""
+    y = (split.y_train == 2).astype(np.int64)
+    with pytest.raises(ModelPlanError, match="no rescaling cycle"):
+        logistic_regression(cc, split.x_train, y, degree=3, scale_bits=41)
+
+
+def test_depth_shortfall_names_layer_and_budget(split):
+    """A chain too short for the activation fails statically, naming
+    the layer and the rescale-level shortfall (mismatch_reason style)."""
+    from repro import CkksContext
+
+    shallow = CkksContext(
+        ring_degree=256, num_main=4, num_aux=3, dnum=2, seed=0,
+        rotations=(1, 2),
+    )
+    y = (split.y_train == 2).astype(np.int64)
+    with pytest.raises(ModelPlanError) as ei:
+        logistic_regression(shallow, split.x_train, y, degree=7)
+    assert ei.value.layer == "logreg"
+    msg = str(ei.value)
+    assert "logreg" in msg
+    assert "level" in msg or "budget" in msg or "scale" in msg
+
+
+def test_layer_spans_cannot_nest(cc):
+    planner = LevelPlanner(cc._tracer(), scale_bits=30)
+    with planner.layer("outer"):
+        with pytest.raises(ModelPlanError, match="cannot nest"):
+            with planner.layer("inner"):
+                pass
+
+
+def test_compile_model_validates_shapes(cc):
+    fit = fit_activation("relu", 3)
+    with pytest.raises(ParameterError):
+        compile_model(cc, [])
+    with pytest.raises(ParameterError):
+        DenseLayer("bad", np.zeros((2, 3)), np.zeros(2), fit)
+    with pytest.raises(ParameterError):
+        layers = [
+            DenseLayer("a", np.eye(2), np.zeros(2), None),
+            DenseLayer("b", np.eye(4), np.zeros(4), None),
+        ]
+        compile_model(cc, layers)
+
+
+# -- end to end --------------------------------------------------------------
+
+def test_e2e_agreement_gate(cc, split):
+    """Encrypted vs plaintext twins agree on held-out iris rows."""
+    y = (split.y_train == 2).astype(np.int64)
+    y_test = (split.y_test == 2).astype(np.int64)
+    model = logistic_regression(cc, split.x_train, y, degree=5)
+    rows = split.x_test[:16]
+    enc = model.classify(model.predict_encrypted(rows))
+    plain = model.classify(model.predict_plain(rows))
+    assert agreement(enc, plain) >= AGREEMENT_THRESHOLD
+    assert agreement(enc, y_test[:16]) >= 0.75  # real accuracy, not chance
+
+
+def test_mlp_end_to_end(cc, split):
+    model = mlp(cc, split.x_train, split.y_train, degree=3)
+    rows = split.x_test[:8]
+    enc = model.classify(model.predict_encrypted(rows))
+    plain = model.classify(model.predict_plain(rows))
+    assert np.array_equal(enc, plain)
+    assert model.output_level >= 1
+    assert model.placed_rescales > 0
+
+
+def test_run_e2e_artifact_shape(tmp_path):
+    from repro.ml import write_artifact
+
+    report = run_e2e(
+        logreg_degrees=(3,), mlp_degrees=(2,), n_test=8, seed=0
+    )
+    assert report["passed"] is True
+    assert report["agreement_threshold"] == AGREEMENT_THRESHOLD
+    kinds = {(r["model"], r["degree"]) for r in report["results"]}
+    assert kinds == {("logreg", 3), ("mlp", 2)}
+    for cell in report["results"]:
+        assert cell["agreement"] >= AGREEMENT_THRESHOLD
+        assert cell["fit_max_error"] > 0
+        assert cell["planner_rescales"] > 0
+    out = tmp_path / "ml_e2e.json"
+    write_artifact(report, out)
+    assert out.exists() and out.read_text().startswith("{")
+
+
+def test_model_admits_into_serving(cc, split):
+    """A compiled model registers as a serving vector tenant and the
+    served scores match the direct encrypted path."""
+    from repro import CkksServer, ServingConfig
+
+    y = (split.y_train == 2).astype(np.int64)
+    model = logistic_regression(cc, split.x_train, y, degree=3)
+    server = CkksServer(cc, config=ServingConfig(
+        default_deadline_s=30.0, watchdog_s=30.0, seed=0,
+    ))
+    server.register_tenant(
+        "logreg", model.build,
+        scale_bits=model.scale_bits, input_dim=model.dim,
+    )
+
+    async def drive():
+        await server.start()
+        try:
+            return await asyncio.gather(
+                *(server.submit("logreg", row) for row in split.x_test[:4])
+            )
+        finally:
+            await server.stop()
+
+    served = asyncio.run(asyncio.wait_for(drive(), 60.0))
+    scores = np.array([np.asarray(v).real for v in served])
+    direct = model.predict_encrypted(split.x_test[:4])
+    assert np.max(np.abs(scores - direct)) < 1e-4
+    assert np.array_equal(model.classify(scores), model.classify(direct))

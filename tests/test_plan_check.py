@@ -21,8 +21,9 @@ import pytest
 import test_circuit as tc
 from repro.analysis import check_plan
 from repro.errors import StaticAnalysisError
-from repro.scheme import CircuitTracer, Plaintext
-from repro.scheme.circuit import _Step
+from repro.scheme import Plaintext
+from repro.scheme._circuit import CircuitTracer
+from repro.scheme._circuit import _Step
 
 N = 1024
 METHOD = "smr"

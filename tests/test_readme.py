@@ -1,0 +1,33 @@
+"""Execute the README's "Encrypted inference" walkthrough verbatim.
+
+The section promises a model -> compile -> serve path that a reader can
+paste and run; this test extracts its fenced python block straight out
+of ``README.md`` and ``exec``s it, so the docs cannot drift from the
+public API they advertise.
+"""
+
+import re
+from pathlib import Path
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def _section(text: str, heading: str) -> str:
+    start = text.index(f"## {heading}")
+    rest = text[start + 3 :]
+    end = rest.find("\n## ")
+    return rest if end < 0 else rest[:end]
+
+
+def test_encrypted_inference_walkthrough_runs_verbatim():
+    section = _section(README.read_text(), "Encrypted inference")
+    blocks = _FENCE.findall(section)
+    assert blocks, "the Encrypted inference section lost its code block"
+    namespace: dict = {"__name__": "readme_walkthrough"}
+    for block in blocks:
+        exec(compile(block, str(README), "exec"), namespace)  # noqa: S102
+    # the walkthrough's own asserts are the real gate; spot-check that
+    # it actually got to the end with a served score in hand
+    assert "scores" in namespace

@@ -290,8 +290,17 @@ def test_level_and_scale_errors_name_the_problem():
         ev.add(low, ct1)
     with pytest.raises(ScaleMismatchError, match="scale mismatch"):
         ev.add(prod, ct1)
+    # Below the keygen level the evaluator derives keys from its key
+    # source; an evaluator holding only top-level keys still fails with
+    # an error naming the level gap.
+    assert ev.rotate(low, 3).level == low.level
+    keyless = Evaluator(
+        ctx, relin_key=ev.relin_key, galois_keys=ev.galois_keys
+    )
     with pytest.raises(KeyError_, match="below the keygen level"):
-        ev.rotate(low, 3)
+        keyless.rotate(low, 3)
+    with pytest.raises(KeyError_, match="below the keygen level"):
+        keyless.multiply(low, low)
     bare = Evaluator(ctx)
     with pytest.raises(KeyError_, match="relinearization"):
         bare.multiply(ct1, ct2)

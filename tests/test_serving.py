@@ -35,7 +35,8 @@ from repro.serving import (
 )
 from repro.serving.breaker import CLOSED, HALF_OPEN, OPEN
 
-SCALE = 2.0**30
+SCALE_BITS = 30
+SCALE = 2.0**SCALE_BITS
 
 
 @pytest.fixture(scope="module")
@@ -76,8 +77,8 @@ def make_server(cc, *, injector=None, **overrides) -> CkksServer:
     defaults.update(overrides)
     server = CkksServer(cc, config=ServingConfig(**defaults),
                         injector=injector)
-    server.register_tenant("affine", make_affine(cc), scale=SCALE)
-    server.register_tenant("square", make_square(cc), scale=SCALE)
+    server.register_tenant("affine", make_affine(cc), scale_bits=SCALE_BITS)
+    server.register_tenant("square", make_square(cc), scale_bits=SCALE_BITS)
     return server
 
 
@@ -99,7 +100,7 @@ def serve(server, coro):
 def test_register_rejects_duplicate(cc):
     server = make_server(cc)
     with pytest.raises(AdmissionError) as ei:
-        server.register_tenant("affine", make_affine(cc), scale=SCALE)
+        server.register_tenant("affine", make_affine(cc), scale_bits=SCALE_BITS)
     assert ei.value.code == "duplicate-tenant"
     assert ei.value.tenant == "affine"
 
@@ -115,7 +116,7 @@ def test_register_rejects_untraceable_circuit(cc):
         return y
 
     with pytest.raises(AdmissionError) as ei:
-        server.register_tenant("deep", too_deep, scale=SCALE)
+        server.register_tenant("deep", too_deep, scale_bits=SCALE_BITS)
     assert ei.value.code == "trace-rejected"
 
 
@@ -131,7 +132,7 @@ def test_register_rejects_statically_unsound_plan(cc):
         return tracer.add(tracer.multiply_plain(x, half), x)
 
     with pytest.raises(AdmissionError) as ei:
-        server.register_tenant("bad", mismatched, scale=SCALE)
+        server.register_tenant("bad", mismatched, scale_bits=SCALE_BITS)
     assert ei.value.code in ("analysis-rejected", "trace-rejected")
 
 
@@ -397,7 +398,7 @@ def test_unexpected_error_rejects_batch_and_keeps_loop_alive(cc):
 
 def test_plan_execution_error_names_step_and_tag(cc):
     build = make_affine(cc)
-    tracer = cc.tracer()
+    tracer = cc._tracer()
     plan = tracer.compile(build(tracer, tracer.input("x", scale=SCALE)))
     ct = cc.encrypt([0.5] * 32, scale=SCALE)
 
@@ -422,7 +423,7 @@ def test_plan_execution_error_names_step_and_tag(cc):
 def test_input_validation_keeps_parameter_error(cc):
     """Input-step failures keep their precise ParameterError contract."""
     build = make_affine(cc)
-    tracer = cc.tracer()
+    tracer = cc._tracer()
     plan = tracer.compile(build(tracer, tracer.input("x", scale=SCALE)))
     with pytest.raises(ParameterError, match="arrives at scale"):
         plan.run(cc.encrypt([0.5] * 32, scale=2.0**29))
@@ -458,7 +459,7 @@ def test_plan_fingerprint_covers_prepared_operands(cc):
     pointwise kernel actually reads — must change the plan fingerprint
     even though the source limbs are untouched."""
     build = make_affine(cc)
-    tracer = cc.tracer()
+    tracer = cc._tracer()
     plan = tracer.compile(build(tracer, tracer.input("x", scale=SCALE)))
     base = plan.fingerprint()
     assert base == plan.fingerprint()
